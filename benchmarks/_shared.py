@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (a table or a
+figure) end-to-end — simulated suggestion generation, static/dynamic
+analysis, rubric scoring, aggregation — and checks the qualitative "shape"
+findings listed in DESIGN.md §1 against the published values.  Timings are
+reported by pytest-benchmark; correctness of the reproduction is asserted.
+"""
+
+from __future__ import annotations
+
+from repro.codex.config import DEFAULT_SEED, CodexConfig
+from repro.core.compare import ShapeComparison, compare_to_paper
+from repro.core.runner import EvaluationRunner, ResultSet
+
+__all__ = ["evaluate_language", "evaluate_full_grid", "assert_shape_agreement", "DEFAULT_SEED"]
+
+
+def evaluate_language(language: str, *, seed: int = DEFAULT_SEED) -> ResultSet:
+    """Run the full evaluation for one language's table (no caching)."""
+    runner = EvaluationRunner(config=CodexConfig(), seed=seed)
+    return runner.run_language(language)
+
+
+def evaluate_full_grid(*, seed: int = DEFAULT_SEED) -> ResultSet:
+    """Run the evaluation for every cell of the Table 1 grid."""
+    runner = EvaluationRunner(config=CodexConfig(), seed=seed)
+    return runner.run_full_grid()
+
+
+def assert_shape_agreement(results: ResultSet, language: str) -> ShapeComparison:
+    """Assert the reproduction preserves the paper's qualitative shape."""
+    comparison = compare_to_paper(results, language)
+    assert comparison.cell_rank_correlation > 0.2, comparison
+    assert comparison.within_one_level >= 0.8, comparison
+    assert comparison.complexity_trend_holds, comparison
+    assert comparison.keyword_effect_agrees, comparison
+    assert comparison.top_model_agrees, comparison
+    return comparison

@@ -1,0 +1,22 @@
+"""E-F2: regenerate Figure 2 (C++ per-kernel and per-model average scores)."""
+
+from __future__ import annotations
+
+from _shared import evaluate_language
+from repro.harness.figures import figure_data, render_figure
+
+
+def _figure2():
+    results = evaluate_language("cpp")
+    return results, figure_data(results, "cpp")
+
+
+def test_figure2_cpp(benchmark):
+    results, data = benchmark(_figure2)
+    kernels, models = data["kernels"], data["models"]
+    # Shape: AXPY best, CG worst; OpenMP ahead of HIP.
+    assert kernels["axpy"] == max(kernels.values())
+    assert kernels["cg"] == min(kernels.values())
+    assert models["cpp.openmp"] > models["cpp.hip"]
+    print()
+    print(render_figure(results, "cpp"))

@@ -1,0 +1,22 @@
+"""E-F3: regenerate Figure 3 (Fortran per-kernel and per-model average scores)."""
+
+from __future__ import annotations
+
+from _shared import evaluate_language
+from repro.harness.figures import figure_data, render_figure
+
+
+def _figure3():
+    results = evaluate_language("fortran")
+    return results, figure_data(results, "fortran")
+
+
+def test_figure3_fortran(benchmark):
+    results, data = benchmark(_figure3)
+    kernels, models = data["kernels"], data["models"]
+    # Shape: responses are comparatively uniform across kernels (the paper's
+    # observation for Fortran) and OpenMP is the strongest model.
+    assert max(kernels.values()) - min(kernels.values()) <= 0.5
+    assert models["fortran.openmp"] == max(models.values())
+    print()
+    print(render_figure(results, "fortran"))

@@ -1,0 +1,23 @@
+"""E-F4: regenerate Figure 4 (Python per-kernel and per-model average scores)."""
+
+from __future__ import annotations
+
+from _shared import evaluate_language
+from repro.harness.figures import figure_data, render_figure
+
+
+def _figure4():
+    results = evaluate_language("python")
+    return results, figure_data(results, "python")
+
+
+def test_figure4_python(benchmark):
+    results, data = benchmark(_figure4)
+    kernels, models = data["kernels"], data["models"]
+    # Shape: most kernels return at least one correct answer thanks to numpy,
+    # Numba clearly trails the other three models.
+    assert kernels["axpy"] == max(kernels.values())
+    assert models["python.numba"] == min(models.values())
+    assert models["python.numpy"] >= 2 * models["python.numba"]
+    print()
+    print(render_figure(results, "python"))

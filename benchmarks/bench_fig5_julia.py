@@ -1,0 +1,25 @@
+"""E-F5: regenerate Figure 5 (Julia per-kernel and per-model average scores)."""
+
+from __future__ import annotations
+
+from _shared import evaluate_language
+from repro.harness.figures import figure_data, render_figure
+
+
+def _figure5():
+    results = evaluate_language("julia")
+    return results, figure_data(results, "julia")
+
+
+def test_figure5_julia(benchmark):
+    results, data = benchmark(_figure5)
+    kernels, models = data["kernels"], data["models"]
+    # Shape: the mature models (Threads, CUDA.jl) sit between novice and
+    # learner, the young ones (AMDGPU.jl, KernelAbstractions.jl) rank lower,
+    # and CG is the weakest kernel.
+    mature = max(models["julia.threads"], models["julia.cuda"])
+    young = max(models["julia.amdgpu"], models["julia.kernelabstractions"])
+    assert mature >= young
+    assert kernels["cg"] == min(kernels.values())
+    print()
+    print(render_figure(results, "julia"))

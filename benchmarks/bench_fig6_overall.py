@@ -1,0 +1,30 @@
+"""E-F6: regenerate Figure 6 (overall per-kernel and per-language averages)."""
+
+from __future__ import annotations
+
+from _shared import evaluate_full_grid
+from repro.core.aggregate import overall_average
+from repro.harness.figures import overall_figure_data, render_overall_figure
+from repro.kernels.registry import KERNEL_NAMES
+
+
+def _figure6():
+    results = evaluate_full_grid()
+    return results, overall_figure_data(results)
+
+
+def test_figure6_overall(benchmark):
+    results, data = benchmark(_figure6)
+    kernels, languages = data["kernels"], data["languages"]
+    # Shape: complexity degrades quality monotonically at the extremes, the
+    # overall average sits around the novice level, and the general-purpose
+    # languages (C++, Python) edge out Fortran and Julia.
+    assert kernels["axpy"] == max(kernels.values())
+    assert kernels["cg"] == min(kernels.values())
+    assert list(kernels) == list(KERNEL_NAMES)
+    assert 0.1 <= overall_average(results) <= 0.4
+    assert max(languages["cpp"], languages["python"]) >= max(
+        languages["fortran"], languages["julia"]
+    )
+    print()
+    print(render_overall_figure(results))

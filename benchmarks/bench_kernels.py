@@ -1,0 +1,68 @@
+"""PERF: throughput of the numerical kernel substrate itself.
+
+These benchmarks time the vectorised reference implementations used as
+oracles (they are not part of the paper's tables, but they document the cost
+of the substrate and guard against accidental de-vectorisation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.axpy import axpy
+from repro.kernels.cg import conjugate_gradient
+from repro.kernels.gemm import gemm
+from repro.kernels.gemv import gemv
+from repro.kernels.jacobi import jacobi3d_step
+from repro.kernels.sparse import poisson_2d, poisson_3d
+from repro.kernels.spmv import spmv
+
+_RNG = np.random.default_rng(20230414)
+
+
+@pytest.mark.parametrize("n", [1_000, 100_000])
+def test_axpy_reference(benchmark, n):
+    x = _RNG.standard_normal(n)
+    y = _RNG.standard_normal(n)
+    result = benchmark(axpy, 1.5, x, y)
+    assert result.shape == (n,)
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def test_gemv_reference(benchmark, n):
+    a = _RNG.standard_normal((n, n))
+    x = _RNG.standard_normal(n)
+    result = benchmark(gemv, 1.0, a, x)
+    assert result.shape == (n,)
+
+
+@pytest.mark.parametrize("n", [64, 192])
+def test_gemm_reference(benchmark, n):
+    a = _RNG.standard_normal((n, n))
+    b = _RNG.standard_normal((n, n))
+    result = benchmark(gemm, 1.0, a, b)
+    assert result.shape == (n, n)
+
+
+@pytest.mark.parametrize("grid", [16, 32])
+def test_spmv_reference(benchmark, grid):
+    matrix = poisson_2d(grid)
+    x = _RNG.standard_normal(matrix.n_cols)
+    result = benchmark(spmv, matrix, x)
+    assert result.shape == (matrix.n_rows,)
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_jacobi_reference(benchmark, n):
+    u = _RNG.standard_normal((n, n, n))
+    result = benchmark(jacobi3d_step, u)
+    assert result.shape == u.shape
+
+
+def test_cg_reference(benchmark):
+    matrix = poisson_3d(6)  # 216 unknowns
+    x_true = _RNG.standard_normal(matrix.n_rows)
+    b = matrix.matvec(x_true)
+    result = benchmark(lambda: conjugate_gradient(matrix, b, tol=1e-10))
+    assert result.converged

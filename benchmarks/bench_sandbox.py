@@ -1,0 +1,61 @@
+"""PERF: cost of the evaluation substrates (analysis + sandbox execution).
+
+Times the three judging paths a suggestion can take: static analysis of a
+C++ suggestion, sandboxed execution of a numpy suggestion, and interpreted
+execution of a pyCUDA suggestion on the simulated device.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.analyzer import SuggestionAnalyzer
+from repro.corpus.templates import get_template
+from repro.sandbox import evaluate_python_suggestion
+from repro.sandbox.cuda_c import CudaModule
+import numpy as np
+
+
+def test_static_analysis_cpp_cg(benchmark):
+    analyzer = SuggestionAnalyzer()
+    code = get_template("cpp", "cuda", "cg")
+
+    def run():
+        analyzer._cache.clear()
+        return analyzer.analyze(code, language="cpp", kernel="cg", requested_model="cpp.cuda")
+
+    verdict = benchmark(run)
+    assert verdict.is_correct
+
+
+def test_sandbox_numpy_cg(benchmark):
+    code = get_template("python", "numpy", "cg")
+    result = benchmark(evaluate_python_suggestion, code, "cg")
+    assert result.passed
+
+
+def test_sandbox_pycuda_gemv(benchmark):
+    code = get_template("python", "pycuda", "gemv")
+    result = benchmark(evaluate_python_suggestion, code, "gemv")
+    assert result.passed
+
+
+def test_cuda_interpreter_axpy_launch(benchmark):
+    source = """
+    extern "C" __global__
+    void axpy(const int n, const double a, const double *x, double *y)
+    {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) {
+            y[i] = a * x[i] + y[i];
+        }
+    }
+    """
+    kernel = CudaModule(source).get_kernel("axpy")
+    rng = np.random.default_rng(0)
+    n = 256
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+
+    def launch():
+        kernel.launch((1,), (256,), (n, 2.0, x, y))
+
+    benchmark(launch)

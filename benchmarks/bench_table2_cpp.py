@@ -1,0 +1,24 @@
+"""E-T2: regenerate Table 2 (C++ proficiency scores, 8 models x 6 kernels x 2 variants)."""
+
+from __future__ import annotations
+
+from _shared import assert_shape_agreement, evaluate_language
+from repro.harness.tables import render_language_table
+
+
+def test_table2_cpp(benchmark):
+    results = benchmark(evaluate_language, "cpp")
+    comparison = assert_shape_agreement(results, "cpp")
+    # Headline C++ findings: OpenMP and CUDA are the strongest models, HIP and
+    # Thrust the weakest; AXPY is the best kernel and CG the worst.
+    from repro.core.aggregate import kernel_averages, model_averages
+
+    models = model_averages(results, "cpp")
+    assert models["cpp.openmp"] >= max(models["cpp.hip"], models["cpp.thrust"])
+    kernels = kernel_averages(results, language="cpp")
+    assert kernels["axpy"] == max(kernels.values())
+    assert kernels["cg"] <= 0.3
+    print()
+    print(render_language_table(results, "cpp"))
+    print(f"shape agreement: rho={comparison.cell_rank_correlation:.2f} "
+          f"within-one-level={comparison.within_one_level:.0%}")

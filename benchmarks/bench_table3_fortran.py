@@ -1,0 +1,22 @@
+"""E-T3: regenerate Table 3 (Fortran proficiency scores, with/without `subroutine`)."""
+
+from __future__ import annotations
+
+from _shared import assert_shape_agreement, evaluate_language
+from repro.core.aggregate import postfix_effect
+from repro.harness.tables import render_language_table
+
+
+def test_table3_fortran(benchmark):
+    results = benchmark(evaluate_language, "fortran")
+    comparison = assert_shape_agreement(results, "fortran")
+    # Headline Fortran finding: the `subroutine` keyword is essential — the
+    # bare prompt is near-useless, the keyword variant is uniformly acceptable.
+    effect = postfix_effect(results, "fortran")
+    assert effect["with_keyword"] > effect["without_keyword"]
+    bare = results.filter(language="fortran", use_postfix=False)
+    assert bare.mean_score() <= 0.3
+    print()
+    print(render_language_table(results, "fortran"))
+    print(f"keyword effect: {effect['without_keyword']:.2f} -> {effect['with_keyword']:.2f}; "
+          f"rho={comparison.cell_rank_correlation:.2f}")

@@ -1,0 +1,27 @@
+"""E-T4: regenerate Table 4 (Python proficiency scores, with/without `def`).
+
+Python is the one language whose suggestions are *executed* in the sandbox
+(numpy directly; Numba/cuPy/pyCUDA through the fake runtimes and the CUDA-C
+interpreter), so this benchmark also exercises that whole substrate.
+"""
+
+from __future__ import annotations
+
+from _shared import assert_shape_agreement, evaluate_language
+from repro.core.aggregate import model_averages, postfix_effect
+from repro.harness.tables import render_language_table
+
+
+def test_table4_python(benchmark):
+    results = benchmark(evaluate_language, "python")
+    comparison = assert_shape_agreement(results, "python")
+    # Headline Python findings: `def` is essential; numpy leads, Numba trails.
+    effect = postfix_effect(results, "python")
+    assert effect["with_keyword"] > effect["without_keyword"]
+    models = model_averages(results, "python")
+    assert models["python.numpy"] == max(models.values())
+    assert models["python.numba"] == min(models.values())
+    print()
+    print(render_language_table(results, "python"))
+    print(f"keyword effect: {effect['without_keyword']:.2f} -> {effect['with_keyword']:.2f}; "
+          f"rho={comparison.cell_rank_correlation:.2f}")

@@ -1,0 +1,24 @@
+"""E-T5: regenerate Table 5 (Julia proficiency scores, single prompt variant)."""
+
+from __future__ import annotations
+
+from _shared import assert_shape_agreement, evaluate_language
+from repro.core.aggregate import model_averages
+from repro.harness.tables import render_language_table
+
+
+def test_table5_julia(benchmark):
+    results = benchmark(evaluate_language, "julia")
+    comparison = assert_shape_agreement(results, "julia")
+    # Headline Julia findings: Threads and CUDA.jl (the mature models) lead,
+    # AMDGPU.jl and KernelAbstractions.jl trail; CG is never generated well.
+    models = model_averages(results, "julia")
+    assert max(models["julia.threads"], models["julia.cuda"]) >= max(
+        models["julia.amdgpu"], models["julia.kernelabstractions"]
+    )
+    cg_scores = [r.score for r in results.filter(kernel="cg")]
+    assert max(cg_scores, default=0.0) <= 0.5
+    print()
+    print(render_language_table(results, "julia"))
+    print(f"rho={comparison.cell_rank_correlation:.2f} "
+          f"within-one-level={comparison.within_one_level:.0%}")

@@ -1,0 +1,47 @@
+"""Reproduce the paper's full evaluation (Tables 2-5 and Figure 6).
+
+Runs every cell of the Table 1 grid — 204 prompts across C++, Fortran,
+Python and Julia — renders each table next to the published values, prints
+the overall Figure 6 averages and the shape-agreement summary, and writes
+the raw per-cell records to ``results/`` as CSV and JSON.
+
+Run with:  python examples/full_evaluation.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.compare import compare_to_paper
+from repro.core.runner import EvaluationRunner
+from repro.harness.figures import render_overall_figure
+from repro.harness.io import save_records_csv, save_records_json
+from repro.harness.tables import render_language_table
+from repro.models.languages import get_language, language_names
+
+
+def main() -> None:
+    runner = EvaluationRunner(seed=20230414)
+    results = runner.run_full_grid()
+
+    for language in language_names():
+        print(render_language_table(results, language))
+        comparison = compare_to_paper(results, language)
+        display = get_language(language).display_name
+        print(
+            f"--> {display}: rank correlation {comparison.cell_rank_correlation:+.2f}, "
+            f"{comparison.within_one_level:.0%} of cells within one rubric level, "
+            f"top model agrees: {comparison.top_model_agrees}"
+        )
+        print()
+
+    print(render_overall_figure(results))
+
+    out_dir = Path(__file__).resolve().parent.parent / "results"
+    csv_path = save_records_csv(results, out_dir / "full_grid.csv")
+    json_path = save_records_json(results, out_dir / "full_grid.json")
+    print(f"\nPer-cell records written to {csv_path} and {json_path}")
+
+
+if __name__ == "__main__":
+    main()

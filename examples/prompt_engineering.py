@@ -1,0 +1,58 @@
+"""Prompt engineering study: how the post-fix keyword changes the outcome.
+
+The paper's central prompt-engineering finding is that the right *code
+keyword* (``subroutine`` for Fortran, ``def`` for Python, ``function`` for
+C++) dramatically changes suggestion quality — and that the wrong vocabulary
+(``function`` for CUDA, whose community says "kernel") can hurt.  This
+example evaluates a small set of prompts in both variants and prints the
+score changes, then shows the engine's analytic expectation for each case.
+
+Run with:  python examples/prompt_engineering.py
+"""
+
+from __future__ import annotations
+
+from repro.codex.config import CodexConfig
+from repro.codex.engine import SimulatedCodex
+from repro.codex.prompt import Prompt
+from repro.core.evaluator import PromptEvaluator
+from repro.models.grid import ExperimentCell
+from repro.models.keywords import postfix_keyword
+
+CASES = [
+    ("fortran", "fortran.openmp", "gemv"),
+    ("fortran", "fortran.openacc", "jacobi"),
+    ("python", "python.numpy", "cg"),
+    ("python", "python.pycuda", "spmv"),
+    ("cpp", "cpp.openmp", "gemm"),
+    ("cpp", "cpp.cuda", "gemm"),
+]
+
+
+def main() -> None:
+    config = CodexConfig()
+    engine = SimulatedCodex(config=config, seed=20230414)
+    evaluator = PromptEvaluator(engine=engine)
+
+    header = f"{'prompt':35s} {'bare':>6s} {'+keyword':>9s} {'E[bare]':>8s} {'E[+kw]':>8s}"
+    print(header)
+    print("-" * len(header))
+    for language, model, kernel in CASES:
+        keyword = postfix_keyword(language)
+        bare_cell = ExperimentCell(language=language, model=model, kernel=kernel, use_postfix=False)
+        kw_cell = ExperimentCell(language=language, model=model, kernel=kernel, use_postfix=True)
+        bare = evaluator.evaluate_cell(bare_cell)
+        keyed = evaluator.evaluate_cell(kw_cell)
+        expected_bare = config.expected_score(Prompt.from_cell(bare_cell))
+        expected_kw = config.expected_score(Prompt.from_cell(kw_cell))
+        label = f"{kernel.upper()} {model} (+{keyword})"
+        print(f"{label:35s} {bare.score:>6.2f} {keyed.score:>9.2f} {expected_bare:>8.2f} {expected_kw:>8.2f}")
+
+    print()
+    print("Note how the keyword rescues Fortran and Python prompts, barely moves")
+    print("plain C++/OpenMP, and *lowers* the CUDA GEMM expectation — 'function'")
+    print("is not the word the CUDA community uses for a kernel.")
+
+
+if __name__ == "__main__":
+    main()

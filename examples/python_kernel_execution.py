@@ -1,0 +1,67 @@
+"""Execute generated GPU-Python suggestions on the simulated device.
+
+The paper notes that the successful cuPy and pyCUDA suggestions embed a raw
+CUDA kernel as a user-defined kernel.  This example takes the cuPy
+``RawKernel`` and pyCUDA ``SourceModule`` implementations from the corpus,
+runs them through the sandbox (numpy-backed fake runtimes + the miniature
+CUDA-C interpreter), and verifies them against the numerical oracles — the
+same path the evaluation uses to judge Python suggestions.
+
+Run with:  python examples/python_kernel_execution.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.templates import get_template
+from repro.kernels.registry import KERNEL_NAMES
+from repro.sandbox import evaluate_python_suggestion, get_task
+from repro.sandbox.cuda_c import CudaModule
+
+
+def run_corpus_suggestions() -> None:
+    print("Executing corpus suggestions against the oracles:")
+    for model in ("numpy", "numba", "cupy", "pycuda"):
+        for kernel in KERNEL_NAMES:
+            code = get_template("python", model, kernel)
+            result = evaluate_python_suggestion(code, kernel)
+            status = "PASS" if result.passed else f"FAIL ({'; '.join(result.issues)})"
+            print(f"  {model:7s} {kernel:7s} -> {status}")
+    print()
+
+
+def run_raw_cuda_kernel() -> None:
+    print("Driving the CUDA-C interpreter directly:")
+    source = """
+    extern "C" __global__
+    void spmv(const int n, const int *row_ptr, const int *col_idx,
+              const double *values, const double *x, double *y)
+    {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) {
+            double sum = 0.0;
+            for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+                sum += values[j] * x[col_idx[j]];
+            }
+            y[i] = sum;
+        }
+    }
+    """
+    task = get_task("spmv")
+    row_ptr, col_idx, values, x = task.fresh_args()
+    n = len(row_ptr) - 1
+    y = np.zeros(n)
+    kernel = CudaModule(source).get_kernel("spmv")
+    kernel.launch(((n + 127) // 128,), (128,), (n, row_ptr, col_idx, values, x, y))
+    error = float(np.max(np.abs(y - task.expected)))
+    print(f"  simulated SpMV kernel over {n} rows: max |error| = {error:.2e}")
+
+
+def main() -> None:
+    run_corpus_suggestions()
+    run_raw_cuda_kernel()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: evaluate one Copilot-style prompt end to end.
+
+Builds the prompt ``GEMV OpenMP function`` (as in the paper's Section 3),
+asks the simulated Codex engine for up to ten suggestions, analyzes each one
+and prints the proficiency score the paper's rubric assigns to the set.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.codex.engine import SimulatedCodex
+from repro.codex.prompt import Prompt
+from repro.core.evaluator import PromptEvaluator
+from repro.models.grid import ExperimentCell
+
+
+def main() -> None:
+    cell = ExperimentCell(language="cpp", model="cpp.openmp", kernel="gemv", use_postfix=True)
+    prompt = Prompt.from_cell(cell)
+    print(f"Prompt file : {prompt.filename}")
+    print(f"Prompt text : {prompt.text}")
+    print()
+
+    engine = SimulatedCodex(seed=20230414)
+    evaluator = PromptEvaluator(engine=engine)
+    result = evaluator.evaluate_cell(cell)
+
+    print(f"Engine competence estimate : {result.competence:.2f}")
+    print(f"Suggestions returned       : {result.n_suggestions}")
+    print(f"Correct suggestions        : {result.n_correct}")
+    print(f"Proficiency score          : {result.score} ({result.level.label})")
+    print()
+    for idx, (code, verdict) in enumerate(zip(result.suggestions, result.verdicts), start=1):
+        first_line = next((ln for ln in code.splitlines() if ln.strip()), "<empty>")
+        print(f"  suggestion {idx}: {verdict.summary():40s} | {first_line.strip()[:60]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Static analysis of code suggestions.
+
+This package implements the machinery the paper's authors applied by eye:
+given a raw suggestion for a ``<kernel> <programming model>`` prompt, decide
+
+* whether the suggestion contains code at all,
+* which programming model(s) the code actually uses,
+* and whether the code is a correct implementation of the kernel.
+
+The model detectors are marker-based with precedence rules (e.g. an
+``#pragma omp target`` region is OpenMP *offload*, not plain OpenMP; a
+``__global__`` kernel launched with ``hipLaunchKernelGGL`` is HIP, not CUDA).
+Correctness for the compiled languages is judged structurally (balanced
+blocks, sane loop bounds, no calls to undefined helpers, the kernel's
+characteristic update expressions present); Python suggestions are
+additionally *executed* against numerical oracles by :mod:`repro.sandbox`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.verdict import SuggestionVerdict
+from repro.analysis.detection import detect_models, primary_model
+from repro.analysis.analyzer import SuggestionAnalyzer, analyze_suggestion
+
+__all__ = [
+    "SuggestionVerdict",
+    "detect_models",
+    "primary_model",
+    "SuggestionAnalyzer",
+    "analyze_suggestion",
+]

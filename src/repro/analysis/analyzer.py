@@ -1,0 +1,158 @@
+"""Top-level suggestion analyzer.
+
+Combines model detection, structural checks, kernel-semantics checks and
+(for Python) sandboxed execution into a single :class:`SuggestionVerdict`,
+which is what the proficiency metric in :mod:`repro.core` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis import clike, fortranlang, julialang, pythonlang
+from repro.analysis.detection import detect_models
+from repro.analysis.verdict import SuggestionVerdict
+from repro.models.languages import get_language
+from repro.models.programming_models import get_model
+
+__all__ = ["SuggestionAnalyzer", "analyze_suggestion"]
+
+#: Signature of the pluggable Python execution backend:
+#: ``(code, kernel) -> (math_correct, issues)``.
+PythonExecutor = Callable[[str, str], tuple[bool, list[str]]]
+
+
+def _looks_like_code(text: str, comment_prefix: str) -> bool:
+    stripped = text.strip()
+    if not stripped:
+        return False
+    prefixes = ("//", "#", "!", "/*", "*")
+    for line in stripped.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(comment_prefix) or line.startswith(prefixes):
+            continue
+        return True
+    return False
+
+
+def _default_python_executor(code: str, kernel: str) -> tuple[bool, list[str]]:
+    from repro.sandbox import evaluate_python_suggestion
+
+    result = evaluate_python_suggestion(code, kernel)
+    return result.passed, list(result.issues)
+
+
+@dataclass
+class SuggestionAnalyzer:
+    """Analyzes raw suggestions for a given prompt.
+
+    Parameters
+    ----------
+    execute_python:
+        Whether Python suggestions are executed against numerical oracles
+        (the default) or judged statically only.
+    python_executor:
+        Pluggable execution backend; defaults to the sandbox in
+        :mod:`repro.sandbox`.
+    """
+
+    execute_python: bool = True
+    python_executor: PythonExecutor | None = None
+    _cache: dict[tuple[str, str, str, str], SuggestionVerdict] = field(
+        default_factory=dict, repr=False
+    )
+
+    def analyze(
+        self,
+        code: str,
+        *,
+        language: str,
+        kernel: str,
+        requested_model: str,
+    ) -> SuggestionVerdict:
+        """Analyze one suggestion.
+
+        Parameters
+        ----------
+        code:
+            Raw suggestion text.
+        language:
+            Host language canonical name.
+        kernel:
+            Kernel canonical name ("axpy", ...).
+        requested_model:
+            Programming model uid the prompt asked for ("cpp.openmp", ...).
+        """
+        lang = get_language(language)
+        requested = get_model(requested_model)
+        cache_key = (code, lang.name, kernel, requested.uid)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+
+        verdict = SuggestionVerdict(is_code=_looks_like_code(code, lang.comment_prefix))
+        if not verdict.is_code:
+            verdict.add_issue("suggestion contains no code")
+            self._cache[cache_key] = verdict
+            return verdict
+
+        detected = detect_models(code, lang.name)
+        verdict.detected_models = detected
+        verdict.uses_requested_model = requested.uid in detected
+        verdict.uses_other_model = any(uid != requested.uid for uid in detected)
+
+        issues: list[str] = []
+        if lang.name == "cpp":
+            issues.extend(clike.check_structure(code))
+            if not issues:
+                issues.extend(clike.check_kernel_semantics(code, kernel))
+            verdict.method = "static"
+        elif lang.name == "fortran":
+            issues.extend(fortranlang.check_structure(code))
+            if not issues:
+                issues.extend(fortranlang.check_kernel_semantics(code, kernel))
+            verdict.method = "static"
+        elif lang.name == "julia":
+            issues.extend(julialang.check_structure(code))
+            if not issues:
+                issues.extend(julialang.check_kernel_semantics(code, kernel))
+            verdict.method = "static"
+        elif lang.name == "python":
+            issues.extend(pythonlang.check_structure(code))
+            undefined = pythonlang.undefined_call_names(code)
+            if undefined:
+                issues.append(f"calls undefined function(s): {', '.join(sorted(undefined))}")
+            if not issues and self.execute_python:
+                executor = self.python_executor or _default_python_executor
+                passed, exec_issues = executor(code, kernel)
+                issues.extend(exec_issues)
+                if not passed and not exec_issues:
+                    issues.append("execution did not reproduce the oracle result")
+                verdict.method = "executed"
+            else:
+                verdict.method = "static"
+        else:  # pragma: no cover - registry guards this
+            raise KeyError(f"no analyzer for language {lang.name!r}")
+
+        verdict.issues.extend(issues)
+        verdict.math_correct = not issues
+        self._cache[cache_key] = verdict
+        return verdict
+
+
+_DEFAULT_ANALYZER = SuggestionAnalyzer()
+
+
+def analyze_suggestion(
+    code: str,
+    *,
+    language: str,
+    kernel: str,
+    requested_model: str,
+) -> SuggestionVerdict:
+    """Analyze a suggestion with the default (executing) analyzer."""
+    return _DEFAULT_ANALYZER.analyze(
+        code, language=language, kernel=kernel, requested_model=requested_model
+    )

@@ -1,0 +1,125 @@
+"""Programming-model detection.
+
+Given a suggestion and its host language, decide which parallel programming
+model(s) the code actually uses.  Detection is marker-based (directive
+sentinels, API namespaces, kernel-launch syntax, decorators) with precedence
+rules that resolve the natural ambiguities:
+
+* ``#pragma omp target`` is OpenMP *offload*, which shadows plain OpenMP;
+* HIP code contains ``__global__`` and ``blockIdx`` exactly like CUDA, so the
+  HIP runtime API (``hipMalloc``/``hipLaunchKernelGGL``) takes precedence;
+* Thrust functors carry ``__host__ __device__`` qualifiers but no
+  ``__global__`` kernels, so the ``thrust::`` namespace decides;
+* in Julia, ``CUDA.jl`` and ``AMDGPU.jl`` kernels share the kernel-function
+  shape, so the package markers (``using CUDA`` / ``@cuda`` vs.
+  ``using AMDGPU`` / ``@roc``) decide.
+"""
+
+from __future__ import annotations
+
+from repro.models.programming_models import PROGRAMMING_MODELS
+
+__all__ = ["detect_models", "primary_model"]
+
+
+def _contains_any(code: str, markers: tuple[str, ...]) -> bool:
+    return any(marker in code for marker in markers)
+
+
+def _detect_cpp(code: str) -> list[str]:
+    found: list[str] = []
+    has_omp_target = "#pragma omp target" in code
+    has_omp = "#pragma omp" in code
+    if has_omp_target:
+        found.append("cpp.openmp_offload")
+    if has_omp and not has_omp_target:
+        found.append("cpp.openmp")
+    if "#pragma acc" in code:
+        found.append("cpp.openacc")
+    if "Kokkos::" in code or "KOKKOS_LAMBDA" in code:
+        found.append("cpp.kokkos")
+    if "thrust::" in code:
+        found.append("cpp.thrust")
+    if "sycl::" in code or "cl::sycl" in code:
+        found.append("cpp.sycl")
+    has_hip = _contains_any(code, ("hipMalloc", "hipMemcpy", "hipLaunchKernelGGL", "hip_runtime"))
+    has_cuda_api = _contains_any(code, ("cudaMalloc", "cudaMemcpy", "cuda_runtime", "<<<"))
+    has_global = "__global__" in code
+    if has_hip:
+        found.append("cpp.hip")
+    if (has_cuda_api or (has_global and not has_hip)) and not has_hip:
+        # A __global__ kernel without any HIP API is CUDA-style code; Thrust
+        # functors (__host__ __device__, no __global__) do not qualify.
+        if has_cuda_api or has_global:
+            found.append("cpp.cuda")
+    return found
+
+
+def _detect_fortran(code: str) -> list[str]:
+    lowered = code.lower()
+    found: list[str] = []
+    has_target = "!$omp target" in lowered
+    has_omp = "!$omp" in lowered
+    if has_target:
+        found.append("fortran.openmp_offload")
+    if has_omp and not has_target:
+        found.append("fortran.openmp")
+    if "!$acc" in lowered:
+        found.append("fortran.openacc")
+    return found
+
+
+def _detect_python(code: str) -> list[str]:
+    found: list[str] = []
+    if "cupy" in code or "import cupy" in code:
+        found.append("python.cupy")
+    if "pycuda" in code:
+        found.append("python.pycuda")
+    if "numba" in code or "@njit" in code or "@jit" in code or "prange(" in code:
+        found.append("python.numba")
+    if ("numpy" in code or "np." in code) and not found:
+        # numpy counts as the "model" only when no genuinely parallel /
+        # GPU package is present (cuPy and Numba code almost always also
+        # imports numpy for host arrays).
+        found.append("python.numpy")
+    return found
+
+
+def _detect_julia(code: str) -> list[str]:
+    found: list[str] = []
+    if "KernelAbstractions" in code or "@kernel" in code:
+        found.append("julia.kernelabstractions")
+    if "using AMDGPU" in code or "@roc" in code or "ROCArray" in code or "workitemIdx" in code:
+        found.append("julia.amdgpu")
+    if "using CUDA" in code or "@cuda " in code or "@cuda\n" in code or "CuArray" in code:
+        found.append("julia.cuda")
+    if "Threads.@threads" in code or "@threads" in code:
+        found.append("julia.threads")
+    return found
+
+
+_DETECTORS = {
+    "cpp": _detect_cpp,
+    "fortran": _detect_fortran,
+    "python": _detect_python,
+    "julia": _detect_julia,
+}
+
+
+def detect_models(code: str, language: str) -> tuple[str, ...]:
+    """Detect the programming model uids used by ``code``.
+
+    Returns an empty tuple for serial code (or non-code text).
+    """
+    language = language.lower()
+    if language not in _DETECTORS:
+        raise KeyError(f"no detector for language {language!r}")
+    found = _DETECTORS[language](code)
+    # Keep only known uids and preserve detector ordering (most specific first).
+    return tuple(uid for uid in found if uid in PROGRAMMING_MODELS)
+
+
+def primary_model(code: str, language: str) -> str | None:
+    """The most specific model detected, or None for serial code."""
+    models = detect_models(code, language)
+    return models[0] if models else None

@@ -1,0 +1,106 @@
+"""Static checks for Python suggestions.
+
+Python is the one language whose suggestions we can *execute* against the
+numerical oracles (see :mod:`repro.sandbox`); the static layer here only
+establishes that the suggestion is syntactically valid Python, defines a
+callable entry point for the kernel, and does not reference obviously
+undefined helper functions at module scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+__all__ = ["check_structure", "find_entry_function", "undefined_call_names"]
+
+#: Module roots the sandbox knows how to provide.
+KNOWN_MODULE_ROOTS = {"numpy", "numba", "cupy", "pycuda", "math", "cupyx"}
+
+
+def parse_or_none(code: str) -> ast.Module | None:
+    try:
+        return ast.parse(code)
+    except SyntaxError:
+        return None
+
+
+def check_structure(code: str) -> list[str]:
+    """Syntax validity and presence of a function definition."""
+    issues: list[str] = []
+    tree = parse_or_none(code)
+    if tree is None:
+        issues.append("not valid Python (syntax error)")
+        return issues
+    functions = [node for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)]
+    if not functions:
+        issues.append("no function definition found")
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = node.module if isinstance(node, ast.ImportFrom) else None
+            names = [module] if module else [alias.name for alias in node.names]
+            for name in names:
+                root = (name or "").split(".")[0]
+                if root and root not in KNOWN_MODULE_ROOTS:
+                    issues.append(f"imports unavailable module {root!r}")
+    return issues
+
+
+def find_entry_function(code: str, kernel: str) -> str | None:
+    """Name of the function implementing ``kernel`` in ``code``.
+
+    Preference order: exact kernel name, a name containing the kernel name
+    (excluding private helpers), then the single public function if there is
+    exactly one.
+    """
+    tree = parse_or_none(code)
+    if tree is None:
+        return None
+    # Only top-level functions can be called from the sandbox namespace.
+    functions = [node.name for node in tree.body if isinstance(node, ast.FunctionDef)]
+    if not functions:
+        return None
+    kernel = kernel.lower()
+    for name in functions:
+        if name.lower() == kernel:
+            return name
+    public = [name for name in functions if not name.startswith("_")]
+    for name in public:
+        if kernel in name.lower():
+            return name
+    if len(public) == 1:
+        return public[0]
+    return None
+
+
+def undefined_call_names(code: str) -> set[str]:
+    """Plain-name calls that are neither defined in the module, imported,
+    assigned, builtins, nor parameters of the enclosing functions."""
+    tree = parse_or_none(code)
+    if tree is None:
+        return set()
+    defined: set[str] = set(dir(builtins))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            defined.add(node.name)
+            defined.update(arg.arg for arg in node.args.args)
+            defined.update(arg.arg for arg in node.args.kwonlyargs)
+        elif isinstance(node, ast.Import):
+            defined.update(alias.asname or alias.name.split(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            defined.update(alias.asname or alias.name for alias in node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        defined.add(sub.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    defined.add(sub.id)
+    called: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            called.add(node.func.id)
+    return {name for name in called if name not in defined}

@@ -1,0 +1,51 @@
+"""Verdict data structures produced by the analyzers.
+
+A :class:`SuggestionVerdict` captures, for a single suggestion, everything
+the paper's rubric needs: is it code at all, which programming model does it
+use, and is it a correct implementation of the requested kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SuggestionVerdict"]
+
+
+@dataclass
+class SuggestionVerdict:
+    """Analysis outcome for one suggestion."""
+
+    #: Whether the suggestion contains anything that parses as code.
+    is_code: bool
+    #: Programming model uids detected in the suggestion ("cpp.openmp", ...).
+    #: Empty when the code uses no recognisable parallel model.
+    detected_models: tuple[str, ...] = ()
+    #: Whether the suggestion uses the model the prompt requested.
+    uses_requested_model: bool = False
+    #: Whether the suggestion uses some *other* recognised parallel model.
+    uses_other_model: bool = False
+    #: Whether the implementation of the kernel is judged numerically /
+    #: structurally correct (independently of which model it uses).
+    math_correct: bool = False
+    #: Problems found during analysis (human-readable).
+    issues: list[str] = field(default_factory=list)
+    #: How the math judgement was obtained ("static", "executed", "none").
+    method: str = "static"
+
+    @property
+    def is_correct(self) -> bool:
+        """The paper's notion of a *correct code*: a code suggestion that is
+        numerically correct **and** uses the requested programming model."""
+        return self.is_code and self.math_correct and self.uses_requested_model
+
+    def add_issue(self, message: str) -> None:
+        self.issues.append(message)
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used in reports and examples)."""
+        if not self.is_code:
+            return "no code"
+        model = ",".join(self.detected_models) if self.detected_models else "serial"
+        status = "correct" if self.is_correct else ("math-ok" if self.math_correct else "incorrect")
+        return f"{status} [{model}]" + (f" ({'; '.join(self.issues)})" if self.issues else "")

@@ -1,0 +1,41 @@
+"""SimCodex — the simulated Copilot/OpenAI-Codex suggestion engine.
+
+The real study prompts the GitHub Copilot plugin and collects its first ten
+suggestions.  Offline we replace the closed model with an explicit generative
+mechanism built on the paper's own causal story: suggestion quality tracks
+(1) the availability of relevant public example code for the requested
+programming model and language, (2) the complexity of the kernel, and (3)
+how well the prompt matches the vocabulary of the model's community (the
+post-fix keyword effect).
+
+Pipeline per prompt:
+
+1. :class:`~repro.codex.config.CodexConfig` turns the prompt into a
+   *competence* score from the popularity/maturity priors.
+2. :class:`~repro.codex.sampler.SuggestionSampler` draws a latent knowledge
+   state (competent / fuzzy / confused / ignorant) and composes up to ten
+   suggestions from the corpus: correct templates, mutated variants,
+   other-model templates and non-code answers.
+3. :class:`~repro.codex.engine.SimulatedCodex` exposes the Copilot-like
+   ``complete(prompt)`` API used by the evaluation harness.
+
+The downstream evaluation (static analysis, sandbox execution, proficiency
+rubric) never looks at the sampler's internal labels — it judges the raw
+suggestion text exactly as the paper's authors judged raw Copilot output.
+"""
+
+from __future__ import annotations
+
+from repro.codex.config import CodexConfig, KnowledgeState
+from repro.codex.prompt import Prompt
+from repro.codex.sampler import SuggestionSampler
+from repro.codex.engine import SimulatedCodex, CompletionResult
+
+__all__ = [
+    "CodexConfig",
+    "KnowledgeState",
+    "Prompt",
+    "SuggestionSampler",
+    "SimulatedCodex",
+    "CompletionResult",
+]

@@ -1,0 +1,82 @@
+"""The Copilot-like completion API.
+
+:class:`SimulatedCodex` is the object the evaluation harness talks to.  Its
+``complete`` method takes a :class:`~repro.codex.prompt.Prompt` and returns a
+:class:`CompletionResult` holding up to ten raw suggestion texts — the same
+artefact the paper's authors collected from the Copilot suggestion panel.
+
+Determinism: every prompt derives its own random stream from the engine seed
+and the prompt's cell identifier, so single cells can be re-evaluated in
+isolation and the full grid is reproducible regardless of evaluation order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codex.config import DEFAULT_SEED, CodexConfig
+from repro.codex.prompt import Prompt
+from repro.codex.sampler import SuggestionSampler
+from repro.corpus.snippets import CodeSnippet
+from repro.corpus.store import CorpusStore
+
+__all__ = ["CompletionResult", "SimulatedCodex"]
+
+
+@dataclass(frozen=True)
+class CompletionResult:
+    """The suggestions returned for one prompt."""
+
+    prompt: Prompt
+    #: Raw suggestion texts, in the order they were "displayed".
+    suggestions: tuple[str, ...]
+    #: The competence score the engine assigned to the prompt (diagnostic).
+    competence: float
+
+    def __len__(self) -> int:
+        return len(self.suggestions)
+
+    def __iter__(self):
+        return iter(self.suggestions)
+
+
+@dataclass
+class SimulatedCodex:
+    """Corpus-retrieval + stochastic-sampling stand-in for OpenAI Codex."""
+
+    config: CodexConfig = field(default_factory=CodexConfig)
+    seed: int = DEFAULT_SEED
+    corpus: CorpusStore | None = None
+
+    def __post_init__(self) -> None:
+        self._sampler = SuggestionSampler(config=self.config, corpus=self.corpus)
+        self.corpus = self._sampler.corpus
+
+    # -- public API -------------------------------------------------------------
+    def complete(self, prompt: Prompt) -> CompletionResult:
+        """Return up to ten suggestions for ``prompt`` (deterministic per seed)."""
+        rng = self._rng_for(prompt)
+        snippets = self._sampler.sample(prompt, rng)
+        return CompletionResult(
+            prompt=prompt,
+            suggestions=tuple(snippet.code for snippet in snippets),
+            competence=self.config.competence(prompt),
+        )
+
+    def complete_snippets(self, prompt: Prompt) -> list[CodeSnippet]:
+        """Like :meth:`complete` but returning the labelled snippets.
+
+        Only tests and diagnostics should use this; the evaluation pipeline
+        works from the raw texts to avoid any label leakage.
+        """
+        rng = self._rng_for(prompt)
+        return self._sampler.sample(prompt, rng)
+
+    # -- helpers ------------------------------------------------------------------
+    def _rng_for(self, prompt: Prompt) -> np.random.Generator:
+        digest = hashlib.sha256(prompt.cell_id.encode("utf-8")).digest()
+        cell_entropy = int.from_bytes(digest[:8], "little")
+        return np.random.default_rng([self.seed, cell_entropy])

@@ -1,0 +1,48 @@
+"""Core evaluation methodology: the paper's proficiency metric and harness.
+
+* :mod:`repro.core.proficiency` — the five-level rubric of Section 3.2.
+* :mod:`repro.core.evaluator` — turns a prompt's raw suggestions into
+  verdicts and a proficiency score.
+* :mod:`repro.core.runner` — runs the full Table 1 grid.
+* :mod:`repro.core.aggregate` — per-kernel / per-model / per-language means
+  (the data behind Figures 2-6).
+* :mod:`repro.core.paper_reference` — the published Tables 2-5, used only for
+  comparison and reporting.
+* :mod:`repro.core.compare` — agreement statistics between the reproduction
+  and the published numbers (rank correlation, qualitative findings).
+* :mod:`repro.core.report` — text rendering of tables and ASCII figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.proficiency import ProficiencyLevel, classify_verdicts, score_label
+from repro.core.evaluator import CellResult, PromptEvaluator
+from repro.core.runner import EvaluationRunner, ResultSet
+from repro.core.aggregate import (
+    kernel_averages,
+    language_averages,
+    model_averages,
+    overall_average,
+)
+from repro.core.paper_reference import paper_score, paper_table, PAPER_TABLES
+from repro.core.compare import ShapeComparison, compare_to_paper, spearman_rank_correlation
+
+__all__ = [
+    "ProficiencyLevel",
+    "classify_verdicts",
+    "score_label",
+    "CellResult",
+    "PromptEvaluator",
+    "EvaluationRunner",
+    "ResultSet",
+    "kernel_averages",
+    "model_averages",
+    "language_averages",
+    "overall_average",
+    "paper_score",
+    "paper_table",
+    "PAPER_TABLES",
+    "ShapeComparison",
+    "compare_to_paper",
+    "spearman_rank_correlation",
+]

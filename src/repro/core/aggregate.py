@@ -1,0 +1,77 @@
+"""Aggregation of per-cell scores into the averages plotted in Figures 2-6.
+
+The paper's per-language figures show two panels: the average score per
+kernel (over all programming models and both prompt variants) and the average
+score per programming model (over all kernels and both variants).  Figure 6
+shows the same two views across the whole study: per kernel and per language.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.runner import ResultSet
+from repro.kernels.registry import KERNEL_NAMES
+from repro.models.languages import language_names
+from repro.models.programming_models import models_for_language
+
+__all__ = [
+    "kernel_averages",
+    "model_averages",
+    "language_averages",
+    "overall_average",
+    "postfix_effect",
+]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def kernel_averages(results: ResultSet, *, language: str | None = None) -> "OrderedDict[str, float]":
+    """Average score per kernel, in canonical kernel order."""
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for kernel in KERNEL_NAMES:
+        subset = results.filter(language=language, kernel=kernel)
+        out[kernel] = _mean(subset.scores())
+    return out
+
+
+def model_averages(results: ResultSet, language: str) -> "OrderedDict[str, float]":
+    """Average score per programming model of one language, in table order."""
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for model in models_for_language(language):
+        subset = results.filter(language=language, model=model.uid)
+        out[model.uid] = _mean(subset.scores())
+    return out
+
+
+def language_averages(results: ResultSet) -> "OrderedDict[str, float]":
+    """Average score per language (Figure 6, bottom panel)."""
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for language in language_names():
+        subset = results.filter(language=language)
+        out[language] = _mean(subset.scores())
+    return out
+
+
+def overall_average(results: ResultSet) -> float:
+    """Grand mean over every evaluated cell."""
+    return _mean(results.scores())
+
+
+def postfix_effect(results: ResultSet, language: str) -> dict[str, float]:
+    """Mean score without and with the post-fix keyword, plus the delta.
+
+    Languages without a keyword variant return identical values and a zero
+    delta.
+    """
+    bare = results.filter(language=language, use_postfix=False)
+    keyed = results.filter(language=language, use_postfix=True)
+    bare_mean = _mean(bare.scores())
+    keyed_mean = _mean(keyed.scores()) if len(keyed) else bare_mean
+    return {
+        "without_keyword": bare_mean,
+        "with_keyword": keyed_mean,
+        "delta": keyed_mean - bare_mean,
+    }

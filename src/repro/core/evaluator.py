@@ -1,0 +1,96 @@
+"""Per-prompt evaluation: suggestions → verdicts → proficiency score."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.analyzer import SuggestionAnalyzer
+from repro.analysis.verdict import SuggestionVerdict
+from repro.codex.engine import CompletionResult, SimulatedCodex
+from repro.codex.prompt import Prompt
+from repro.core.proficiency import ProficiencyLevel, classify_verdicts
+from repro.models.grid import ExperimentCell
+
+__all__ = ["CellResult", "PromptEvaluator"]
+
+
+@dataclass
+class CellResult:
+    """Everything recorded for one evaluated prompt (one table cell)."""
+
+    cell: ExperimentCell
+    prompt: Prompt
+    score: float
+    level: ProficiencyLevel
+    verdicts: list[SuggestionVerdict] = field(default_factory=list)
+    suggestions: tuple[str, ...] = ()
+    competence: float = 0.0
+
+    @property
+    def n_suggestions(self) -> int:
+        return len(self.suggestions)
+
+    @property
+    def n_correct(self) -> int:
+        return sum(1 for v in self.verdicts if v.is_correct)
+
+    def to_record(self) -> dict:
+        """Flat dictionary for CSV/JSON persistence."""
+        return {
+            "language": self.cell.language,
+            "model": self.cell.model,
+            "kernel": self.cell.kernel,
+            "postfix": self.cell.postfix,
+            "use_postfix": self.cell.use_postfix,
+            "score": self.score,
+            "level": self.level.label,
+            "n_suggestions": self.n_suggestions,
+            "n_correct": self.n_correct,
+            "competence": round(self.competence, 4),
+        }
+
+
+@dataclass
+class PromptEvaluator:
+    """Evaluates prompts end-to-end: engine → analyzer → rubric."""
+
+    engine: SimulatedCodex = field(default_factory=SimulatedCodex)
+    analyzer: SuggestionAnalyzer = field(default_factory=SuggestionAnalyzer)
+
+    def evaluate_cell(self, cell: ExperimentCell) -> CellResult:
+        """Evaluate one experiment-grid cell."""
+        prompt = Prompt.from_cell(cell)
+        completion = self.engine.complete(prompt)
+        return self.evaluate_completion(cell, prompt, completion)
+
+    def evaluate_completion(
+        self, cell: ExperimentCell, prompt: Prompt, completion: CompletionResult
+    ) -> CellResult:
+        """Score an already-obtained completion (used by ablations)."""
+        verdicts = [
+            self.analyzer.analyze(
+                code,
+                language=prompt.language.name,
+                kernel=prompt.kernel,
+                requested_model=prompt.model_uid,
+            )
+            for code in completion.suggestions
+        ]
+        level = classify_verdicts(verdicts)
+        return CellResult(
+            cell=cell,
+            prompt=prompt,
+            score=float(level.value),
+            level=level,
+            verdicts=verdicts,
+            suggestions=completion.suggestions,
+            competence=completion.competence,
+        )
+
+    def evaluate_suggestions(
+        self, cell: ExperimentCell, suggestions: tuple[str, ...]
+    ) -> CellResult:
+        """Score an explicit suggestion list (used to re-score external data)."""
+        prompt = Prompt.from_cell(cell)
+        completion = CompletionResult(prompt=prompt, suggestions=suggestions, competence=0.0)
+        return self.evaluate_completion(cell, prompt, completion)

@@ -1,0 +1,125 @@
+"""The published result tables (Tables 2-5 of the paper).
+
+These numbers are used **only** for comparison and reporting — never as an
+input to the simulated suggestion engine (DESIGN.md §6).  Kernel order in
+every row is the canonical one: AXPY, GEMV, GEMM, SpMV, Jacobi, CG.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.registry import KERNEL_NAMES
+
+__all__ = ["PAPER_TABLES", "paper_table", "paper_score", "paper_cells"]
+
+_K = KERNEL_NAMES  # ("axpy", "gemv", "gemm", "spmv", "jacobi", "cg")
+
+
+def _rows(raw: dict[str, tuple[float, ...]]) -> dict[str, dict[str, float]]:
+    return {model: dict(zip(_K, scores)) for model, scores in raw.items()}
+
+
+#: Table 2 — C++ (top half: bare prompt, bottom half: with ``function``).
+_TABLE2_BARE = _rows(
+    {
+        "cpp.openmp": (0.75, 0.50, 0.50, 0.50, 0.00, 0.25),
+        "cpp.openmp_offload": (0.50, 0.50, 0.50, 0.25, 0.25, 0.00),
+        "cpp.openacc": (0.50, 0.00, 0.25, 0.00, 0.00, 0.00),
+        "cpp.kokkos": (0.50, 0.00, 0.00, 0.00, 0.25, 0.00),
+        "cpp.cuda": (0.75, 0.75, 0.75, 0.00, 0.00, 0.25),
+        "cpp.hip": (0.75, 0.00, 0.00, 0.00, 0.25, 0.00),
+        "cpp.thrust": (0.25, 0.00, 0.00, 0.00, 0.00, 0.00),
+        "cpp.sycl": (0.75, 0.25, 0.00, 0.00, 0.00, 0.00),
+    }
+)
+_TABLE2_KEYWORD = _rows(
+    {
+        "cpp.openmp": (0.75, 0.75, 0.75, 0.25, 0.25, 0.25),
+        "cpp.openmp_offload": (0.50, 0.50, 0.50, 0.25, 0.25, 0.00),
+        "cpp.openacc": (0.50, 0.50, 0.50, 0.25, 0.00, 0.00),
+        "cpp.kokkos": (0.75, 0.25, 0.25, 0.00, 0.25, 0.00),
+        "cpp.cuda": (0.75, 0.25, 0.00, 0.00, 0.00, 0.00),
+        "cpp.hip": (0.75, 0.00, 0.00, 0.00, 0.25, 0.00),
+        "cpp.thrust": (0.50, 0.00, 0.25, 0.00, 0.00, 0.00),
+        "cpp.sycl": (0.75, 0.50, 0.25, 0.00, 0.00, 0.00),
+    }
+)
+
+#: Table 3 — Fortran.
+_TABLE3_BARE = _rows(
+    {
+        "fortran.openmp": (0.75, 0.00, 0.00, 0.00, 0.00, 0.00),
+        "fortran.openmp_offload": (0.00, 0.00, 0.00, 0.00, 0.00, 0.00),
+        "fortran.openacc": (0.00, 0.00, 0.00, 0.00, 0.00, 0.00),
+    }
+)
+_TABLE3_KEYWORD = _rows(
+    {
+        "fortran.openmp": (0.75, 0.25, 0.25, 0.50, 0.50, 0.25),
+        "fortran.openmp_offload": (0.25, 0.25, 0.25, 0.25, 0.50, 0.25),
+        "fortran.openacc": (0.25, 0.25, 0.25, 0.25, 0.25, 0.25),
+    }
+)
+
+#: Table 4 — Python.
+_TABLE4_BARE = _rows(
+    {
+        "python.numpy": (0.25, 0.00, 0.00, 0.00, 0.00, 0.00),
+        "python.cupy": (0.00, 0.00, 0.25, 0.00, 0.00, 0.00),
+        "python.pycuda": (0.00, 0.00, 0.00, 0.00, 0.00, 0.00),
+        "python.numba": (0.00, 0.00, 0.00, 0.00, 0.00, 0.00),
+    }
+)
+_TABLE4_KEYWORD = _rows(
+    {
+        "python.numpy": (0.75, 0.25, 0.25, 0.50, 0.50, 0.75),
+        "python.cupy": (0.50, 0.25, 0.25, 0.25, 0.25, 0.25),
+        "python.pycuda": (0.50, 0.25, 0.50, 0.50, 0.25, 0.00),
+        "python.numba": (0.25, 0.00, 0.00, 0.00, 0.00, 0.00),
+    }
+)
+
+#: Table 5 — Julia (single prompt variant).
+_TABLE5 = _rows(
+    {
+        "julia.threads": (0.75, 0.25, 0.50, 0.00, 0.00, 0.00),
+        "julia.cuda": (0.75, 0.50, 0.50, 0.25, 0.25, 0.00),
+        "julia.amdgpu": (0.00, 0.00, 0.00, 0.25, 0.00, 0.00),
+        "julia.kernelabstractions": (0.25, 0.25, 0.25, 0.25, 0.25, 0.00),
+    }
+)
+
+#: All published tables, keyed by (language, use_postfix).
+PAPER_TABLES: dict[tuple[str, bool], dict[str, dict[str, float]]] = {
+    ("cpp", False): _TABLE2_BARE,
+    ("cpp", True): _TABLE2_KEYWORD,
+    ("fortran", False): _TABLE3_BARE,
+    ("fortran", True): _TABLE3_KEYWORD,
+    ("python", False): _TABLE4_BARE,
+    ("python", True): _TABLE4_KEYWORD,
+    ("julia", False): _TABLE5,
+}
+
+
+def paper_table(language: str, *, use_postfix: bool) -> dict[str, dict[str, float]]:
+    """The published table half for one language and prompt variant."""
+    key = (language.lower(), use_postfix)
+    if key not in PAPER_TABLES:
+        raise KeyError(f"the paper has no table for language={language!r} use_postfix={use_postfix}")
+    return PAPER_TABLES[key]
+
+
+def paper_score(model_uid: str, kernel: str, *, use_postfix: bool) -> float:
+    """The published score of one cell."""
+    language = model_uid.split(".", 1)[0]
+    table = paper_table(language, use_postfix=use_postfix)
+    return table[model_uid][kernel]
+
+
+def paper_cells(language: str, *, use_postfix: bool) -> list[tuple[str, str, float]]:
+    """Flat (model_uid, kernel, score) triples for one table half."""
+    table = paper_table(language, use_postfix=use_postfix)
+    return [
+        (model_uid, kernel, score)
+        for model_uid, row in table.items()
+        for kernel, score in row.items()
+    ]

@@ -1,0 +1,78 @@
+"""The paper's five-level proficiency metric (Section 3.2).
+
+Given the verdicts for the (up to ten) suggestions of one prompt, the rubric
+assigns:
+
+* ``0.00`` *non-knowledge* — no code at all, or not a single correct code;
+* ``0.25`` *novice* — one correct code, but the list also contains other
+  (correct or incorrect) programming models;
+* ``0.50`` *learner* — one correct code and other incorrect codes, all using
+  the requested programming model;
+* ``0.75`` *proficient* — all codes correct and in the requested model;
+* ``1.00`` *expert* — exactly one piece of code is provided and it is
+  totally correct.
+
+A "correct code" is a suggestion that is numerically/structurally correct
+**and** uses the requested programming model (see
+:class:`~repro.analysis.verdict.SuggestionVerdict`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+from repro.analysis.verdict import SuggestionVerdict
+
+__all__ = ["ProficiencyLevel", "classify_verdicts", "score_label"]
+
+
+class ProficiencyLevel(float, enum.Enum):
+    """The five proficiency levels and their numeric scores."""
+
+    NON_KNOWLEDGE = 0.0
+    NOVICE = 0.25
+    LEARNER = 0.5
+    PROFICIENT = 0.75
+    EXPERT = 1.0
+
+    @property
+    def label(self) -> str:
+        return self.name.lower().replace("_", "-")
+
+    @classmethod
+    def from_score(cls, score: float) -> "ProficiencyLevel":
+        for level in cls:
+            if abs(float(level.value) - score) < 1e-9:
+                return level
+        raise ValueError(f"{score!r} is not one of the five rubric scores")
+
+
+def classify_verdicts(verdicts: Sequence[SuggestionVerdict]) -> ProficiencyLevel:
+    """Apply the rubric to the verdicts of one prompt's suggestion list."""
+    if not verdicts:
+        return ProficiencyLevel.NON_KNOWLEDGE
+    correct = [v for v in verdicts if v.is_correct]
+    if not correct:
+        return ProficiencyLevel.NON_KNOWLEDGE
+    if len(verdicts) == 1:
+        # Exactly one suggestion was offered and it is correct.
+        return ProficiencyLevel.EXPERT
+    if all(v.is_correct for v in verdicts):
+        return ProficiencyLevel.PROFICIENT
+    if any(v.uses_other_model for v in verdicts):
+        return ProficiencyLevel.NOVICE
+    return ProficiencyLevel.LEARNER
+
+
+def score_label(score: float) -> str:
+    """Human-readable label for a numeric rubric score."""
+    return ProficiencyLevel.from_score(score).label
+
+
+def mean_score(scores: Iterable[float]) -> float:
+    """Plain average of rubric scores (used by the aggregation helpers)."""
+    values = list(scores)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

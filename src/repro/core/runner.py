@@ -1,0 +1,113 @@
+"""Grid runner: evaluate every cell of the Table 1 experiment grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.codex.config import DEFAULT_SEED, CodexConfig
+from repro.codex.engine import SimulatedCodex
+from repro.core.evaluator import CellResult, PromptEvaluator
+from repro.models.grid import ExperimentCell, cells_for_language, experiment_grid
+
+__all__ = ["ResultSet", "EvaluationRunner"]
+
+
+@dataclass
+class ResultSet:
+    """A collection of per-cell results with convenient lookups."""
+
+    results: list[CellResult] = field(default_factory=list)
+    seed: int = DEFAULT_SEED
+
+    def add(self, result: CellResult) -> None:
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    # -- lookups -----------------------------------------------------------------
+    def score(self, model_uid: str, kernel: str, *, use_postfix: bool) -> float:
+        """The rubric score of one cell (KeyError when absent)."""
+        for result in self.results:
+            cell = result.cell
+            if cell.model == model_uid and cell.kernel == kernel and cell.use_postfix == use_postfix:
+                return result.score
+        raise KeyError(f"no result for {model_uid}:{kernel} use_postfix={use_postfix}")
+
+    def filter(
+        self,
+        *,
+        language: str | None = None,
+        model: str | None = None,
+        kernel: str | None = None,
+        use_postfix: bool | None = None,
+    ) -> "ResultSet":
+        """Subset of the results matching the given criteria."""
+        out = ResultSet(seed=self.seed)
+        for result in self.results:
+            cell = result.cell
+            if language is not None and cell.language != language:
+                continue
+            if model is not None and cell.model != model:
+                continue
+            if kernel is not None and cell.kernel != kernel:
+                continue
+            if use_postfix is not None and cell.use_postfix != use_postfix:
+                continue
+            out.add(result)
+        return out
+
+    def scores(self) -> list[float]:
+        return [result.score for result in self.results]
+
+    def mean_score(self) -> float:
+        values = self.scores()
+        return sum(values) / len(values) if values else 0.0
+
+    def to_records(self) -> list[dict]:
+        return [result.to_record() for result in self.results]
+
+
+@dataclass
+class EvaluationRunner:
+    """Runs the evaluation over languages or the full grid."""
+
+    config: CodexConfig = field(default_factory=CodexConfig)
+    seed: int = DEFAULT_SEED
+    progress: Callable[[CellResult], None] | None = None
+    evaluator: PromptEvaluator | None = None
+
+    def __post_init__(self) -> None:
+        if self.evaluator is None:
+            engine = SimulatedCodex(config=self.config, seed=self.seed)
+            self.evaluator = PromptEvaluator(engine=engine)
+
+    # -- entry points ---------------------------------------------------------------
+    def run_cells(self, cells: Iterable[ExperimentCell]) -> ResultSet:
+        results = ResultSet(seed=self.seed)
+        for cell in cells:
+            result = self.evaluator.evaluate_cell(cell)
+            results.add(result)
+            if self.progress is not None:
+                self.progress(result)
+        return results
+
+    def run_language(
+        self,
+        language: str,
+        *,
+        kernels: Iterable[str] | None = None,
+        include_postfix: bool | None = None,
+    ) -> ResultSet:
+        """Evaluate one language's table (Table 2, 3, 4 or 5)."""
+        return self.run_cells(
+            cells_for_language(language, kernels=kernels, include_postfix=include_postfix)
+        )
+
+    def run_full_grid(self) -> ResultSet:
+        """Evaluate the complete Table 1 grid (all languages and variants)."""
+        return self.run_cells(experiment_grid())

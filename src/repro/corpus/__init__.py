@@ -1,0 +1,43 @@
+"""The synthetic "public code" corpus.
+
+GitHub Copilot draws its suggestions from a model trained on public
+repositories.  Offline we replace that training corpus with an explicit,
+inspectable one:
+
+* :mod:`repro.corpus.templates` — hand-written *correct* implementations of
+  every (kernel, language, programming model) combination in Table 1.  These
+  are the idiomatic solutions an expert in each community would write.
+* :mod:`repro.corpus.mutations` — corruption operators that turn a correct
+  template into the realistic failure modes the paper reports: wrong or
+  missing directives, other programming models, undefined helper functions,
+  off-by-one loop bounds, serial fallbacks, truncated code and comment-only
+  answers.
+* :mod:`repro.corpus.store` — the searchable corpus the simulated engine
+  retrieves from, with per-entry metadata and popularity weighting.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.snippets import CodeSnippet, SnippetOrigin
+from repro.corpus.store import CorpusStore, build_default_corpus
+from repro.corpus.templates import get_template, has_template, iter_templates
+from repro.corpus.mutations import (
+    MUTATION_OPERATORS,
+    MutationOperator,
+    apply_mutation,
+    available_mutations,
+)
+
+__all__ = [
+    "CodeSnippet",
+    "SnippetOrigin",
+    "CorpusStore",
+    "build_default_corpus",
+    "get_template",
+    "has_template",
+    "iter_templates",
+    "MutationOperator",
+    "MUTATION_OPERATORS",
+    "apply_mutation",
+    "available_mutations",
+]

@@ -1,0 +1,93 @@
+"""Code snippet data model.
+
+A :class:`CodeSnippet` is a single candidate implementation: either a curated
+correct template, a mutated (incorrect) variant, a snippet for a different
+programming model, or a non-code answer.  The ground-truth labels carried
+here (``label_correct``, ``label_model``) are used only for corpus statistics
+and for testing the static analyzers — the evaluation pipeline itself judges
+suggestions exclusively through :mod:`repro.analysis`, mirroring the way the
+paper's authors judged raw Copilot output by inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["SnippetOrigin", "CodeSnippet"]
+
+
+class SnippetOrigin(enum.Enum):
+    """Where a snippet came from."""
+
+    #: A curated correct template from :mod:`repro.corpus.templates`.
+    TEMPLATE = "template"
+    #: A mutated variant of a template.
+    MUTATION = "mutation"
+    #: A template belonging to a *different* programming model than requested.
+    OTHER_MODEL = "other_model"
+    #: A non-code answer (empty suggestion, bare comment, prose).
+    NON_CODE = "non_code"
+
+
+@dataclass(frozen=True)
+class CodeSnippet:
+    """A single code suggestion candidate."""
+
+    #: The source code text (may be empty for non-code answers).
+    code: str
+    #: Host language canonical name.
+    language: str
+    #: Kernel the snippet is supposed to implement.
+    kernel: str
+    #: Ground-truth programming model uid actually used by the snippet
+    #: ("serial" when no parallel model is used, "none" for non-code).
+    label_model: str
+    #: Ground-truth correctness of the snippet (mathematics + parallel model).
+    label_correct: bool
+    #: Provenance.
+    origin: SnippetOrigin = SnippetOrigin.TEMPLATE
+    #: Name of the mutation operator applied, when origin == MUTATION.
+    mutation: str = ""
+    #: Free-form metadata.
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def is_code(self) -> bool:
+        """Whether the snippet contains anything that looks like code."""
+        stripped = self.code.strip()
+        if not stripped:
+            return False
+        lines = [ln.strip() for ln in stripped.splitlines() if ln.strip()]
+        comment_prefixes = ("//", "#", "!", "/*", "*")
+        return any(not ln.startswith(comment_prefixes) for ln in lines)
+
+    @property
+    def line_count(self) -> int:
+        return len([ln for ln in self.code.splitlines() if ln.strip()])
+
+    @property
+    def digest(self) -> str:
+        """Stable short hash of the snippet text (used for deduplication)."""
+        return hashlib.sha256(self.code.encode("utf-8")).hexdigest()[:12]
+
+    def with_code(self, code: str, *, mutation: str = "", label_correct: bool | None = None,
+                  origin: SnippetOrigin | None = None) -> "CodeSnippet":
+        """Return a copy with replaced code (used by mutation operators)."""
+        return replace(
+            self,
+            code=code,
+            mutation=mutation or self.mutation,
+            label_correct=self.label_correct if label_correct is None else label_correct,
+            origin=origin or self.origin,
+        )
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        status = "correct" if self.label_correct else "incorrect"
+        tag = f" [{self.mutation}]" if self.mutation else ""
+        return (
+            f"<{self.language}/{self.label_model} {self.kernel} "
+            f"{status} {self.origin.value}{tag} {self.line_count} lines>"
+        )

@@ -1,0 +1,138 @@
+"""The searchable corpus the simulated suggestion engine draws from.
+
+``build_default_corpus`` populates a :class:`CorpusStore` with
+
+* one correct template per (kernel, language, programming model) cell, and
+* the mutated variants of every template produced by each applicable
+  operator in :mod:`repro.corpus.mutations`,
+
+so that the store's population mirrors what a code model trained on public
+repositories would have absorbed: a kernel of correct idiomatic solutions
+surrounded by a halo of near-misses, serial fallbacks and unfinished
+completions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.corpus.mutations import MUTATION_OPERATORS
+from repro.corpus.snippets import CodeSnippet, SnippetOrigin
+from repro.corpus.templates import iter_templates
+from repro.models.programming_models import PROGRAMMING_MODELS
+
+__all__ = ["CorpusStore", "build_default_corpus"]
+
+
+def _model_uid(language: str, model_short: str) -> str:
+    uid = f"{language}.{model_short}"
+    if uid not in PROGRAMMING_MODELS:
+        raise KeyError(f"template refers to unknown programming model {uid!r}")
+    return uid
+
+
+@dataclass
+class CorpusStore:
+    """In-memory snippet corpus with per-cell lookup."""
+
+    snippets: list[CodeSnippet] = field(default_factory=list)
+
+    # -- population ---------------------------------------------------------
+    def add(self, snippet: CodeSnippet) -> None:
+        self.snippets.append(snippet)
+
+    def extend(self, snippets: Iterable[CodeSnippet]) -> None:
+        self.snippets.extend(snippets)
+
+    def __len__(self) -> int:
+        return len(self.snippets)
+
+    def __iter__(self) -> Iterator[CodeSnippet]:
+        return iter(self.snippets)
+
+    # -- lookup ---------------------------------------------------------------
+    def candidates(self, language: str, kernel: str) -> list[CodeSnippet]:
+        """All snippets implementing ``kernel`` in ``language`` (any model)."""
+        language = language.lower()
+        kernel = kernel.lower()
+        return [s for s in self.snippets if s.language == language and s.kernel == kernel]
+
+    def candidates_for_model(
+        self,
+        language: str,
+        model_uid: str,
+        kernel: str,
+        *,
+        correct_only: bool = False,
+    ) -> list[CodeSnippet]:
+        """Snippets for one (language, model, kernel) cell."""
+        out = [
+            s
+            for s in self.candidates(language, kernel)
+            if s.label_model == model_uid and (s.label_correct or not correct_only)
+        ]
+        return out
+
+    def template(self, language: str, model_uid: str, kernel: str) -> CodeSnippet | None:
+        """The curated correct template for a cell, if present."""
+        for snippet in self.candidates_for_model(language, model_uid, kernel, correct_only=True):
+            if snippet.origin is SnippetOrigin.TEMPLATE:
+                return snippet
+        return None
+
+    def other_model_snippets(
+        self, language: str, model_uid: str, kernel: str, *, correct_only: bool = True
+    ) -> list[CodeSnippet]:
+        """Snippets for the same kernel/language but a *different* model."""
+        return [
+            s
+            for s in self.candidates(language, kernel)
+            if s.label_model not in (model_uid, "serial", "none")
+            and (s.label_correct or not correct_only)
+        ]
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Population statistics by origin, correctness and language."""
+        counter: Counter[str] = Counter()
+        for snippet in self.snippets:
+            counter["total"] += 1
+            counter[f"origin:{snippet.origin.value}"] += 1
+            counter[f"language:{snippet.language}"] += 1
+            counter["correct" if snippet.label_correct else "incorrect"] += 1
+            if snippet.mutation:
+                counter[f"mutation:{snippet.mutation}"] += 1
+        return dict(counter)
+
+
+def build_default_corpus(*, include_mutations: bool = True) -> CorpusStore:
+    """Build the default corpus from the template library.
+
+    Parameters
+    ----------
+    include_mutations:
+        When True (default) every applicable mutation operator is applied to
+        every template and the results are added as incorrect variants.
+    """
+    store = CorpusStore()
+    for language, model_short, kernel, code in iter_templates():
+        uid = _model_uid(language, model_short)
+        template = CodeSnippet(
+            code=code,
+            language=language,
+            kernel=kernel,
+            label_model=uid,
+            label_correct=True,
+            origin=SnippetOrigin.TEMPLATE,
+            metadata={"model_short": model_short},
+        )
+        store.add(template)
+        if not include_mutations:
+            continue
+        for operator in MUTATION_OPERATORS.values():
+            mutated = operator.apply(template)
+            if mutated is not None:
+                store.add(mutated)
+    return store

@@ -1,0 +1,66 @@
+"""Correct reference templates for every (kernel, language, model) cell.
+
+Each template is the idiomatic implementation an experienced user of the
+programming model would write for the kernel — the kind of code that existed
+in public repositories (tutorials, benchmark suites such as HeCBench, library
+documentation) and that Copilot's best suggestions in the paper reproduce.
+
+The templates are the ground truth of the corpus: the mutation operators in
+:mod:`repro.corpus.mutations` derive every incorrect variant from them, and
+the analyzers in :mod:`repro.analysis` are tested against both.
+
+Lookup API
+----------
+
+``get_template(language, model_short, kernel)`` returns the code string;
+``has_template`` and ``iter_templates`` enumerate availability.  Model keys
+are the *short* model names (``"openmp"``, ``"cuda"``, ...), i.e. the uid
+without the language prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.corpus.templates import cpp_directives, cpp_gpu, cpp_portable, fortran, julia
+from repro.corpus.templates import python_cpu, python_gpu
+
+__all__ = ["get_template", "has_template", "iter_templates", "TEMPLATE_INDEX"]
+
+#: Combined template index: {(language, model_short, kernel): code}.
+TEMPLATE_INDEX: dict[tuple[str, str, str], str] = {}
+
+for _module, _language in (
+    (cpp_directives, "cpp"),
+    (cpp_gpu, "cpp"),
+    (cpp_portable, "cpp"),
+    (fortran, "fortran"),
+    (python_cpu, "python"),
+    (python_gpu, "python"),
+    (julia, "julia"),
+):
+    for (_model, _kernel), _code in _module.TEMPLATES.items():
+        key = (_language, _model, _kernel)
+        if key in TEMPLATE_INDEX:  # pragma: no cover - guards template collisions
+            raise RuntimeError(f"duplicate template for {key}")
+        TEMPLATE_INDEX[key] = _code
+
+
+def get_template(language: str, model_short: str, kernel: str) -> str:
+    """Return the correct template for a (language, model, kernel) cell."""
+    key = (language.lower(), model_short.lower(), kernel.lower())
+    try:
+        return TEMPLATE_INDEX[key]
+    except KeyError:
+        raise KeyError(f"no template for language={language!r} model={model_short!r} kernel={kernel!r}") from None
+
+
+def has_template(language: str, model_short: str, kernel: str) -> bool:
+    """Whether a template exists for the cell."""
+    return (language.lower(), model_short.lower(), kernel.lower()) in TEMPLATE_INDEX
+
+
+def iter_templates() -> Iterator[tuple[str, str, str, str]]:
+    """Iterate ``(language, model_short, kernel, code)`` over all templates."""
+    for (language, model, kernel), code in sorted(TEMPLATE_INDEX.items()):
+        yield language, model, kernel, code

@@ -1,0 +1,601 @@
+"""C++ templates for the vendor GPU kernel languages: CUDA and HIP.
+
+Each template is a complete translation unit containing the ``__global__``
+kernel(s) plus the host wrapper that allocates device memory, copies data,
+launches the kernel and copies the result back — the structure of essentially
+every public CUDA/HIP example of these kernels.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEMPLATES"]
+
+# ---------------------------------------------------------------------------
+# CUDA
+# ---------------------------------------------------------------------------
+
+_CUDA_AXPY = """#include <cuda_runtime.h>
+
+// AXPY: y = a * x + y
+__global__ void axpy_kernel(int n, double a, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+
+void axpy(int n, double a, const double *x, double *y)
+{
+    double *d_x, *d_y;
+    cudaMalloc(&d_x, n * sizeof(double));
+    cudaMalloc(&d_y, n * sizeof(double));
+    cudaMemcpy(d_x, x, n * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_y, y, n * sizeof(double), cudaMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    axpy_kernel<<<blocks, threads>>>(n, a, d_x, d_y);
+    cudaMemcpy(y, d_y, n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaFree(d_x);
+    cudaFree(d_y);
+}
+"""
+
+_CUDA_GEMV = """#include <cuda_runtime.h>
+
+// GEMV: y = A * x, one thread per row
+__global__ void gemv_kernel(int m, int n, const double *A, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * x[j];
+        }
+        y[i] = sum;
+    }
+}
+
+void gemv(int m, int n, const double *A, const double *x, double *y)
+{
+    double *d_A, *d_x, *d_y;
+    cudaMalloc(&d_A, m * n * sizeof(double));
+    cudaMalloc(&d_x, n * sizeof(double));
+    cudaMalloc(&d_y, m * sizeof(double));
+    cudaMemcpy(d_A, A, m * n * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_x, x, n * sizeof(double), cudaMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (m + threads - 1) / threads;
+    gemv_kernel<<<blocks, threads>>>(m, n, d_A, d_x, d_y);
+    cudaMemcpy(y, d_y, m * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaFree(d_A);
+    cudaFree(d_x);
+    cudaFree(d_y);
+}
+"""
+
+_CUDA_GEMM = """#include <cuda_runtime.h>
+
+// GEMM: C = A * B, one thread per output element
+__global__ void gemm_kernel(int m, int n, int k, const double *A, const double *B, double *C)
+{
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m && j < n) {
+        double sum = 0.0;
+        for (int l = 0; l < k; l++) {
+            sum += A[i * k + l] * B[l * n + j];
+        }
+        C[i * n + j] = sum;
+    }
+}
+
+void gemm(int m, int n, int k, const double *A, const double *B, double *C)
+{
+    double *d_A, *d_B, *d_C;
+    cudaMalloc(&d_A, m * k * sizeof(double));
+    cudaMalloc(&d_B, k * n * sizeof(double));
+    cudaMalloc(&d_C, m * n * sizeof(double));
+    cudaMemcpy(d_A, A, m * k * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_B, B, k * n * sizeof(double), cudaMemcpyHostToDevice);
+    dim3 threads(16, 16);
+    dim3 blocks((n + threads.x - 1) / threads.x, (m + threads.y - 1) / threads.y);
+    gemm_kernel<<<blocks, threads>>>(m, n, k, d_A, d_B, d_C);
+    cudaMemcpy(C, d_C, m * n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaFree(d_A);
+    cudaFree(d_B);
+    cudaFree(d_C);
+}
+"""
+
+_CUDA_SPMV = """#include <cuda_runtime.h>
+
+// SpMV: y = A * x for a CSR matrix, one thread per row
+__global__ void spmv_kernel(int n, const int *row_ptr, const int *col_idx,
+                            const double *values, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+            sum += values[j] * x[col_idx[j]];
+        }
+        y[i] = sum;
+    }
+}
+
+void spmv(int n, int nnz, const int *row_ptr, const int *col_idx,
+          const double *values, const double *x, double *y)
+{
+    int *d_row_ptr, *d_col_idx;
+    double *d_values, *d_x, *d_y;
+    cudaMalloc(&d_row_ptr, (n + 1) * sizeof(int));
+    cudaMalloc(&d_col_idx, nnz * sizeof(int));
+    cudaMalloc(&d_values, nnz * sizeof(double));
+    cudaMalloc(&d_x, n * sizeof(double));
+    cudaMalloc(&d_y, n * sizeof(double));
+    cudaMemcpy(d_row_ptr, row_ptr, (n + 1) * sizeof(int), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_col_idx, col_idx, nnz * sizeof(int), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_values, values, nnz * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_x, x, n * sizeof(double), cudaMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    spmv_kernel<<<blocks, threads>>>(n, d_row_ptr, d_col_idx, d_values, d_x, d_y);
+    cudaMemcpy(y, d_y, n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaFree(d_row_ptr);
+    cudaFree(d_col_idx);
+    cudaFree(d_values);
+    cudaFree(d_x);
+    cudaFree(d_y);
+}
+"""
+
+_CUDA_JACOBI = """#include <cuda_runtime.h>
+
+// 3D Jacobi stencil sweep, one thread per interior grid point
+__global__ void jacobi_kernel(int n, const double *u, double *u_new)
+{
+    int i = blockIdx.z * blockDim.z + threadIdx.z;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    int k = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1 && k >= 1 && k < n - 1) {
+        int idx = i * n * n + j * n + k;
+        u_new[idx] = (u[(i - 1) * n * n + j * n + k] +
+                      u[(i + 1) * n * n + j * n + k] +
+                      u[i * n * n + (j - 1) * n + k] +
+                      u[i * n * n + (j + 1) * n + k] +
+                      u[i * n * n + j * n + (k - 1)] +
+                      u[i * n * n + j * n + (k + 1)]) / 6.0;
+    }
+}
+
+void jacobi(int n, const double *u, double *u_new)
+{
+    size_t bytes = (size_t)n * n * n * sizeof(double);
+    double *d_u, *d_u_new;
+    cudaMalloc(&d_u, bytes);
+    cudaMalloc(&d_u_new, bytes);
+    cudaMemcpy(d_u, u, bytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(d_u_new, u, bytes, cudaMemcpyHostToDevice);
+    dim3 threads(8, 8, 8);
+    dim3 blocks((n + threads.x - 1) / threads.x,
+                (n + threads.y - 1) / threads.y,
+                (n + threads.z - 1) / threads.z);
+    jacobi_kernel<<<blocks, threads>>>(n, d_u, d_u_new);
+    cudaMemcpy(u_new, d_u_new, bytes, cudaMemcpyDeviceToHost);
+    cudaFree(d_u);
+    cudaFree(d_u_new);
+}
+"""
+
+_CUDA_CG = """#include <cuda_runtime.h>
+#include <cmath>
+#include <vector>
+
+// Building blocks for the conjugate gradient solver
+__global__ void matvec_kernel(int n, const double *A, const double *p, double *Ap)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * p[j];
+        }
+        Ap[i] = sum;
+    }
+}
+
+__global__ void axpy_kernel(int n, double alpha, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = y[i] + alpha * x[i];
+    }
+}
+
+__global__ void xpby_kernel(int n, const double *r, double beta, double *p)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        p[i] = r[i] + beta * p[i];
+    }
+}
+
+__global__ void dot_kernel(int n, const double *a, const double *b, double *result)
+{
+    __shared__ double cache[256];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    double temp = 0.0;
+    while (i < n) {
+        temp += a[i] * b[i];
+        i += blockDim.x * gridDim.x;
+    }
+    cache[threadIdx.x] = temp;
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride /= 2) {
+        if (threadIdx.x < stride) {
+            cache[threadIdx.x] += cache[threadIdx.x + stride];
+        }
+        __syncthreads();
+    }
+    if (threadIdx.x == 0) {
+        atomicAdd(result, cache[0]);
+    }
+}
+
+static double device_dot(int n, const double *d_a, const double *d_b, double *d_scratch)
+{
+    double zero = 0.0;
+    cudaMemcpy(d_scratch, &zero, sizeof(double), cudaMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    dot_kernel<<<blocks, threads>>>(n, d_a, d_b, d_scratch);
+    double result = 0.0;
+    cudaMemcpy(&result, d_scratch, sizeof(double), cudaMemcpyDeviceToHost);
+    return result;
+}
+
+// Conjugate gradient solve of A x = b for a dense SPD n x n matrix
+void cg(int n, const double *A, const double *b, double *x, int max_iter, double tol)
+{
+    double *d_A, *d_x, *d_r, *d_p, *d_Ap, *d_scratch;
+    cudaMalloc(&d_A, n * n * sizeof(double));
+    cudaMalloc(&d_x, n * sizeof(double));
+    cudaMalloc(&d_r, n * sizeof(double));
+    cudaMalloc(&d_p, n * sizeof(double));
+    cudaMalloc(&d_Ap, n * sizeof(double));
+    cudaMalloc(&d_scratch, sizeof(double));
+    cudaMemcpy(d_A, A, n * n * sizeof(double), cudaMemcpyHostToDevice);
+    std::vector<double> zeros(n, 0.0);
+    cudaMemcpy(d_x, zeros.data(), n * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_r, b, n * sizeof(double), cudaMemcpyHostToDevice);
+    cudaMemcpy(d_p, b, n * sizeof(double), cudaMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    double rsold = device_dot(n, d_r, d_r, d_scratch);
+    for (int iter = 0; iter < max_iter; iter++) {
+        matvec_kernel<<<blocks, threads>>>(n, d_A, d_p, d_Ap);
+        double pAp = device_dot(n, d_p, d_Ap, d_scratch);
+        double alpha = rsold / pAp;
+        axpy_kernel<<<blocks, threads>>>(n, alpha, d_p, d_x);
+        axpy_kernel<<<blocks, threads>>>(n, -alpha, d_Ap, d_r);
+        double rsnew = device_dot(n, d_r, d_r, d_scratch);
+        if (std::sqrt(rsnew) < tol) {
+            break;
+        }
+        double beta = rsnew / rsold;
+        xpby_kernel<<<blocks, threads>>>(n, d_r, beta, d_p);
+        rsold = rsnew;
+    }
+    cudaMemcpy(x, d_x, n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaFree(d_A);
+    cudaFree(d_x);
+    cudaFree(d_r);
+    cudaFree(d_p);
+    cudaFree(d_Ap);
+    cudaFree(d_scratch);
+}
+"""
+
+# ---------------------------------------------------------------------------
+# HIP
+# ---------------------------------------------------------------------------
+
+_HIP_AXPY = """#include <hip/hip_runtime.h>
+
+// AXPY: y = a * x + y
+__global__ void axpy_kernel(int n, double a, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+
+void axpy(int n, double a, const double *x, double *y)
+{
+    double *d_x, *d_y;
+    hipMalloc(&d_x, n * sizeof(double));
+    hipMalloc(&d_y, n * sizeof(double));
+    hipMemcpy(d_x, x, n * sizeof(double), hipMemcpyHostToDevice);
+    hipMemcpy(d_y, y, n * sizeof(double), hipMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    hipLaunchKernelGGL(axpy_kernel, dim3(blocks), dim3(threads), 0, 0, n, a, d_x, d_y);
+    hipMemcpy(y, d_y, n * sizeof(double), hipMemcpyDeviceToHost);
+    hipFree(d_x);
+    hipFree(d_y);
+}
+"""
+
+_HIP_GEMV = """#include <hip/hip_runtime.h>
+
+// GEMV: y = A * x, one thread per row
+__global__ void gemv_kernel(int m, int n, const double *A, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * x[j];
+        }
+        y[i] = sum;
+    }
+}
+
+void gemv(int m, int n, const double *A, const double *x, double *y)
+{
+    double *d_A, *d_x, *d_y;
+    hipMalloc(&d_A, m * n * sizeof(double));
+    hipMalloc(&d_x, n * sizeof(double));
+    hipMalloc(&d_y, m * sizeof(double));
+    hipMemcpy(d_A, A, m * n * sizeof(double), hipMemcpyHostToDevice);
+    hipMemcpy(d_x, x, n * sizeof(double), hipMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (m + threads - 1) / threads;
+    hipLaunchKernelGGL(gemv_kernel, dim3(blocks), dim3(threads), 0, 0, m, n, d_A, d_x, d_y);
+    hipMemcpy(y, d_y, m * sizeof(double), hipMemcpyDeviceToHost);
+    hipFree(d_A);
+    hipFree(d_x);
+    hipFree(d_y);
+}
+"""
+
+_HIP_GEMM = """#include <hip/hip_runtime.h>
+
+// GEMM: C = A * B, one thread per output element
+__global__ void gemm_kernel(int m, int n, int k, const double *A, const double *B, double *C)
+{
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m && j < n) {
+        double sum = 0.0;
+        for (int l = 0; l < k; l++) {
+            sum += A[i * k + l] * B[l * n + j];
+        }
+        C[i * n + j] = sum;
+    }
+}
+
+void gemm(int m, int n, int k, const double *A, const double *B, double *C)
+{
+    double *d_A, *d_B, *d_C;
+    hipMalloc(&d_A, m * k * sizeof(double));
+    hipMalloc(&d_B, k * n * sizeof(double));
+    hipMalloc(&d_C, m * n * sizeof(double));
+    hipMemcpy(d_A, A, m * k * sizeof(double), hipMemcpyHostToDevice);
+    hipMemcpy(d_B, B, k * n * sizeof(double), hipMemcpyHostToDevice);
+    dim3 threads(16, 16);
+    dim3 blocks((n + threads.x - 1) / threads.x, (m + threads.y - 1) / threads.y);
+    hipLaunchKernelGGL(gemm_kernel, blocks, threads, 0, 0, m, n, k, d_A, d_B, d_C);
+    hipMemcpy(C, d_C, m * n * sizeof(double), hipMemcpyDeviceToHost);
+    hipFree(d_A);
+    hipFree(d_B);
+    hipFree(d_C);
+}
+"""
+
+_HIP_SPMV = """#include <hip/hip_runtime.h>
+
+// SpMV: y = A * x for a CSR matrix, one thread per row
+__global__ void spmv_kernel(int n, const int *row_ptr, const int *col_idx,
+                            const double *values, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+            sum += values[j] * x[col_idx[j]];
+        }
+        y[i] = sum;
+    }
+}
+
+void spmv(int n, int nnz, const int *row_ptr, const int *col_idx,
+          const double *values, const double *x, double *y)
+{
+    int *d_row_ptr, *d_col_idx;
+    double *d_values, *d_x, *d_y;
+    hipMalloc(&d_row_ptr, (n + 1) * sizeof(int));
+    hipMalloc(&d_col_idx, nnz * sizeof(int));
+    hipMalloc(&d_values, nnz * sizeof(double));
+    hipMalloc(&d_x, n * sizeof(double));
+    hipMalloc(&d_y, n * sizeof(double));
+    hipMemcpy(d_row_ptr, row_ptr, (n + 1) * sizeof(int), hipMemcpyHostToDevice);
+    hipMemcpy(d_col_idx, col_idx, nnz * sizeof(int), hipMemcpyHostToDevice);
+    hipMemcpy(d_values, values, nnz * sizeof(double), hipMemcpyHostToDevice);
+    hipMemcpy(d_x, x, n * sizeof(double), hipMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    hipLaunchKernelGGL(spmv_kernel, dim3(blocks), dim3(threads), 0, 0,
+                       n, d_row_ptr, d_col_idx, d_values, d_x, d_y);
+    hipMemcpy(y, d_y, n * sizeof(double), hipMemcpyDeviceToHost);
+    hipFree(d_row_ptr);
+    hipFree(d_col_idx);
+    hipFree(d_values);
+    hipFree(d_x);
+    hipFree(d_y);
+}
+"""
+
+_HIP_JACOBI = """#include <hip/hip_runtime.h>
+
+// 3D Jacobi stencil sweep, one thread per interior grid point
+__global__ void jacobi_kernel(int n, const double *u, double *u_new)
+{
+    int i = blockIdx.z * blockDim.z + threadIdx.z;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    int k = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1 && k >= 1 && k < n - 1) {
+        int idx = i * n * n + j * n + k;
+        u_new[idx] = (u[(i - 1) * n * n + j * n + k] +
+                      u[(i + 1) * n * n + j * n + k] +
+                      u[i * n * n + (j - 1) * n + k] +
+                      u[i * n * n + (j + 1) * n + k] +
+                      u[i * n * n + j * n + (k - 1)] +
+                      u[i * n * n + j * n + (k + 1)]) / 6.0;
+    }
+}
+
+void jacobi(int n, const double *u, double *u_new)
+{
+    size_t bytes = (size_t)n * n * n * sizeof(double);
+    double *d_u, *d_u_new;
+    hipMalloc(&d_u, bytes);
+    hipMalloc(&d_u_new, bytes);
+    hipMemcpy(d_u, u, bytes, hipMemcpyHostToDevice);
+    hipMemcpy(d_u_new, u, bytes, hipMemcpyHostToDevice);
+    dim3 threads(8, 8, 8);
+    dim3 blocks((n + threads.x - 1) / threads.x,
+                (n + threads.y - 1) / threads.y,
+                (n + threads.z - 1) / threads.z);
+    hipLaunchKernelGGL(jacobi_kernel, blocks, threads, 0, 0, n, d_u, d_u_new);
+    hipMemcpy(u_new, d_u_new, bytes, hipMemcpyDeviceToHost);
+    hipFree(d_u);
+    hipFree(d_u_new);
+}
+"""
+
+_HIP_CG = """#include <hip/hip_runtime.h>
+#include <cmath>
+#include <vector>
+
+__global__ void matvec_kernel(int n, const double *A, const double *p, double *Ap)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * p[j];
+        }
+        Ap[i] = sum;
+    }
+}
+
+__global__ void axpy_kernel(int n, double alpha, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = y[i] + alpha * x[i];
+    }
+}
+
+__global__ void xpby_kernel(int n, const double *r, double beta, double *p)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        p[i] = r[i] + beta * p[i];
+    }
+}
+
+__global__ void dot_kernel(int n, const double *a, const double *b, double *result)
+{
+    __shared__ double cache[256];
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    double temp = 0.0;
+    while (i < n) {
+        temp += a[i] * b[i];
+        i += blockDim.x * gridDim.x;
+    }
+    cache[threadIdx.x] = temp;
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride /= 2) {
+        if (threadIdx.x < stride) {
+            cache[threadIdx.x] += cache[threadIdx.x + stride];
+        }
+        __syncthreads();
+    }
+    if (threadIdx.x == 0) {
+        atomicAdd(result, cache[0]);
+    }
+}
+
+static double device_dot(int n, const double *d_a, const double *d_b, double *d_scratch)
+{
+    double zero = 0.0;
+    hipMemcpy(d_scratch, &zero, sizeof(double), hipMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    hipLaunchKernelGGL(dot_kernel, dim3(blocks), dim3(threads), 0, 0, n, d_a, d_b, d_scratch);
+    double result = 0.0;
+    hipMemcpy(&result, d_scratch, sizeof(double), hipMemcpyDeviceToHost);
+    return result;
+}
+
+// Conjugate gradient solve of A x = b for a dense SPD n x n matrix
+void cg(int n, const double *A, const double *b, double *x, int max_iter, double tol)
+{
+    double *d_A, *d_x, *d_r, *d_p, *d_Ap, *d_scratch;
+    hipMalloc(&d_A, n * n * sizeof(double));
+    hipMalloc(&d_x, n * sizeof(double));
+    hipMalloc(&d_r, n * sizeof(double));
+    hipMalloc(&d_p, n * sizeof(double));
+    hipMalloc(&d_Ap, n * sizeof(double));
+    hipMalloc(&d_scratch, sizeof(double));
+    hipMemcpy(d_A, A, n * n * sizeof(double), hipMemcpyHostToDevice);
+    std::vector<double> zeros(n, 0.0);
+    hipMemcpy(d_x, zeros.data(), n * sizeof(double), hipMemcpyHostToDevice);
+    hipMemcpy(d_r, b, n * sizeof(double), hipMemcpyHostToDevice);
+    hipMemcpy(d_p, b, n * sizeof(double), hipMemcpyHostToDevice);
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    double rsold = device_dot(n, d_r, d_r, d_scratch);
+    for (int iter = 0; iter < max_iter; iter++) {
+        hipLaunchKernelGGL(matvec_kernel, dim3(blocks), dim3(threads), 0, 0, n, d_A, d_p, d_Ap);
+        double pAp = device_dot(n, d_p, d_Ap, d_scratch);
+        double alpha = rsold / pAp;
+        hipLaunchKernelGGL(axpy_kernel, dim3(blocks), dim3(threads), 0, 0, n, alpha, d_p, d_x);
+        hipLaunchKernelGGL(axpy_kernel, dim3(blocks), dim3(threads), 0, 0, n, -alpha, d_Ap, d_r);
+        double rsnew = device_dot(n, d_r, d_r, d_scratch);
+        if (std::sqrt(rsnew) < tol) {
+            break;
+        }
+        double beta = rsnew / rsold;
+        hipLaunchKernelGGL(xpby_kernel, dim3(blocks), dim3(threads), 0, 0, n, d_r, beta, d_p);
+        rsold = rsnew;
+    }
+    hipMemcpy(x, d_x, n * sizeof(double), hipMemcpyDeviceToHost);
+    hipFree(d_A);
+    hipFree(d_x);
+    hipFree(d_r);
+    hipFree(d_p);
+    hipFree(d_Ap);
+    hipFree(d_scratch);
+}
+"""
+
+
+TEMPLATES: dict[tuple[str, str], str] = {
+    ("cuda", "axpy"): _CUDA_AXPY,
+    ("cuda", "gemv"): _CUDA_GEMV,
+    ("cuda", "gemm"): _CUDA_GEMM,
+    ("cuda", "spmv"): _CUDA_SPMV,
+    ("cuda", "jacobi"): _CUDA_JACOBI,
+    ("cuda", "cg"): _CUDA_CG,
+    ("hip", "axpy"): _HIP_AXPY,
+    ("hip", "gemv"): _HIP_GEMV,
+    ("hip", "gemm"): _HIP_GEMM,
+    ("hip", "spmv"): _HIP_SPMV,
+    ("hip", "jacobi"): _HIP_JACOBI,
+    ("hip", "cg"): _HIP_CG,
+}

@@ -1,0 +1,633 @@
+"""C++ templates for the portable abstraction layers: Kokkos, Thrust, SyCL.
+
+These models wrap the loop nests in library constructs (``parallel_for``
+with lambdas or functors, device vectors, queues and buffers), which is why
+public example code for them is scarcer and structurally more varied than
+plain directive code — one of the explanations the paper offers for their
+lower scores.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEMPLATES"]
+
+# ---------------------------------------------------------------------------
+# Kokkos
+# ---------------------------------------------------------------------------
+
+_KOKKOS_AXPY = """#include <Kokkos_Core.hpp>
+
+// AXPY: y = a * x + y
+void axpy(int n, double a, Kokkos::View<const double *> x, Kokkos::View<double *> y)
+{
+    Kokkos::parallel_for("axpy", n, KOKKOS_LAMBDA(const int i) {
+        y(i) = a * x(i) + y(i);
+    });
+    Kokkos::fence();
+}
+"""
+
+_KOKKOS_GEMV = """#include <Kokkos_Core.hpp>
+
+// GEMV: y = A * x
+void gemv(int m, int n, Kokkos::View<const double **> A,
+          Kokkos::View<const double *> x, Kokkos::View<double *> y)
+{
+    Kokkos::parallel_for("gemv", m, KOKKOS_LAMBDA(const int i) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A(i, j) * x(j);
+        }
+        y(i) = sum;
+    });
+    Kokkos::fence();
+}
+"""
+
+_KOKKOS_GEMM = """#include <Kokkos_Core.hpp>
+
+// GEMM: C = A * B
+void gemm(int m, int n, int k, Kokkos::View<const double **> A,
+          Kokkos::View<const double **> B, Kokkos::View<double **> C)
+{
+    Kokkos::parallel_for(
+        "gemm",
+        Kokkos::MDRangePolicy<Kokkos::Rank<2>>({0, 0}, {m, n}),
+        KOKKOS_LAMBDA(const int i, const int j) {
+            double sum = 0.0;
+            for (int l = 0; l < k; l++) {
+                sum += A(i, l) * B(l, j);
+            }
+            C(i, j) = sum;
+        });
+    Kokkos::fence();
+}
+"""
+
+_KOKKOS_SPMV = """#include <Kokkos_Core.hpp>
+
+// SpMV: y = A * x for a CSR matrix with n rows
+void spmv(int n, Kokkos::View<const int *> row_ptr, Kokkos::View<const int *> col_idx,
+          Kokkos::View<const double *> values, Kokkos::View<const double *> x,
+          Kokkos::View<double *> y)
+{
+    Kokkos::parallel_for("spmv", n, KOKKOS_LAMBDA(const int i) {
+        double sum = 0.0;
+        for (int j = row_ptr(i); j < row_ptr(i + 1); j++) {
+            sum += values(j) * x(col_idx(j));
+        }
+        y(i) = sum;
+    });
+    Kokkos::fence();
+}
+"""
+
+_KOKKOS_JACOBI = """#include <Kokkos_Core.hpp>
+
+// 3D Jacobi stencil sweep on an n x n x n grid
+void jacobi(int n, Kokkos::View<const double ***> u, Kokkos::View<double ***> u_new)
+{
+    Kokkos::parallel_for(
+        "jacobi",
+        Kokkos::MDRangePolicy<Kokkos::Rank<3>>({1, 1, 1}, {n - 1, n - 1, n - 1}),
+        KOKKOS_LAMBDA(const int i, const int j, const int k) {
+            u_new(i, j, k) = (u(i - 1, j, k) + u(i + 1, j, k) +
+                              u(i, j - 1, k) + u(i, j + 1, k) +
+                              u(i, j, k - 1) + u(i, j, k + 1)) / 6.0;
+        });
+    Kokkos::fence();
+}
+"""
+
+_KOKKOS_CG = """#include <Kokkos_Core.hpp>
+#include <cmath>
+
+// Conjugate gradient solve of A x = b for a dense SPD n x n matrix
+void cg(int n, Kokkos::View<const double **> A, Kokkos::View<const double *> b,
+        Kokkos::View<double *> x, int max_iter, double tol)
+{
+    Kokkos::View<double *> r("r", n), p("p", n), Ap("Ap", n);
+    Kokkos::parallel_for("init", n, KOKKOS_LAMBDA(const int i) {
+        x(i) = 0.0;
+        r(i) = b(i);
+        p(i) = r(i);
+    });
+    double rsold = 0.0;
+    Kokkos::parallel_reduce("dot_rr", n, KOKKOS_LAMBDA(const int i, double &acc) {
+        acc += r(i) * r(i);
+    }, rsold);
+    for (int iter = 0; iter < max_iter; iter++) {
+        Kokkos::parallel_for("matvec", n, KOKKOS_LAMBDA(const int i) {
+            double sum = 0.0;
+            for (int j = 0; j < n; j++) {
+                sum += A(i, j) * p(j);
+            }
+            Ap(i) = sum;
+        });
+        double pAp = 0.0;
+        Kokkos::parallel_reduce("dot_pAp", n, KOKKOS_LAMBDA(const int i, double &acc) {
+            acc += p(i) * Ap(i);
+        }, pAp);
+        double alpha = rsold / pAp;
+        Kokkos::parallel_for("update_xr", n, KOKKOS_LAMBDA(const int i) {
+            x(i) += alpha * p(i);
+            r(i) -= alpha * Ap(i);
+        });
+        double rsnew = 0.0;
+        Kokkos::parallel_reduce("dot_rr_new", n, KOKKOS_LAMBDA(const int i, double &acc) {
+            acc += r(i) * r(i);
+        }, rsnew);
+        if (std::sqrt(rsnew) < tol) {
+            break;
+        }
+        double beta = rsnew / rsold;
+        Kokkos::parallel_for("update_p", n, KOKKOS_LAMBDA(const int i) {
+            p(i) = r(i) + beta * p(i);
+        });
+        rsold = rsnew;
+    }
+    Kokkos::fence();
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Thrust
+# ---------------------------------------------------------------------------
+
+_THRUST_AXPY = """#include <thrust/device_vector.h>
+#include <thrust/transform.h>
+#include <thrust/functional.h>
+
+// AXPY: y = a * x + y
+struct axpy_functor
+{
+    const double a;
+    axpy_functor(double a_) : a(a_) {}
+    __host__ __device__ double operator()(const double &x, const double &y) const
+    {
+        return a * x + y;
+    }
+};
+
+void axpy(int n, double a, const thrust::device_vector<double> &x,
+          thrust::device_vector<double> &y)
+{
+    thrust::transform(x.begin(), x.end(), y.begin(), y.begin(), axpy_functor(a));
+}
+"""
+
+_THRUST_GEMV = """#include <thrust/device_vector.h>
+#include <thrust/for_each.h>
+#include <thrust/iterator/counting_iterator.h>
+#include <thrust/execution_policy.h>
+
+// GEMV: y = A * x (row-major A), one thread per row via counting_iterator
+struct gemv_functor
+{
+    int n;
+    const double *A;
+    const double *x;
+    double *y;
+    gemv_functor(int n_, const double *A_, const double *x_, double *y_)
+        : n(n_), A(A_), x(x_), y(y_) {}
+    __host__ __device__ void operator()(int i) const
+    {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * x[j];
+        }
+        y[i] = sum;
+    }
+};
+
+void gemv(int m, int n, const thrust::device_vector<double> &A,
+          const thrust::device_vector<double> &x, thrust::device_vector<double> &y)
+{
+    thrust::for_each(thrust::device,
+                     thrust::counting_iterator<int>(0),
+                     thrust::counting_iterator<int>(m),
+                     gemv_functor(n, thrust::raw_pointer_cast(A.data()),
+                                  thrust::raw_pointer_cast(x.data()),
+                                  thrust::raw_pointer_cast(y.data())));
+}
+"""
+
+_THRUST_GEMM = """#include <thrust/device_vector.h>
+#include <thrust/for_each.h>
+#include <thrust/iterator/counting_iterator.h>
+#include <thrust/execution_policy.h>
+
+// GEMM: C = A * B, one thread per output element via counting_iterator
+struct gemm_functor
+{
+    int n;
+    int k;
+    const double *A;
+    const double *B;
+    double *C;
+    gemm_functor(int n_, int k_, const double *A_, const double *B_, double *C_)
+        : n(n_), k(k_), A(A_), B(B_), C(C_) {}
+    __host__ __device__ void operator()(int idx) const
+    {
+        int i = idx / n;
+        int j = idx % n;
+        double sum = 0.0;
+        for (int l = 0; l < k; l++) {
+            sum += A[i * k + l] * B[l * n + j];
+        }
+        C[i * n + j] = sum;
+    }
+};
+
+void gemm(int m, int n, int k, const thrust::device_vector<double> &A,
+          const thrust::device_vector<double> &B, thrust::device_vector<double> &C)
+{
+    thrust::for_each(thrust::device,
+                     thrust::counting_iterator<int>(0),
+                     thrust::counting_iterator<int>(m * n),
+                     gemm_functor(n, k, thrust::raw_pointer_cast(A.data()),
+                                  thrust::raw_pointer_cast(B.data()),
+                                  thrust::raw_pointer_cast(C.data())));
+}
+"""
+
+_THRUST_SPMV = """#include <thrust/device_vector.h>
+#include <thrust/for_each.h>
+#include <thrust/iterator/counting_iterator.h>
+#include <thrust/execution_policy.h>
+
+// SpMV: y = A * x for a CSR matrix, one thread per row via counting_iterator
+struct spmv_functor
+{
+    const int *row_ptr;
+    const int *col_idx;
+    const double *values;
+    const double *x;
+    double *y;
+    spmv_functor(const int *rp, const int *ci, const double *v, const double *x_, double *y_)
+        : row_ptr(rp), col_idx(ci), values(v), x(x_), y(y_) {}
+    __host__ __device__ void operator()(int i) const
+    {
+        double sum = 0.0;
+        for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+            sum += values[j] * x[col_idx[j]];
+        }
+        y[i] = sum;
+    }
+};
+
+void spmv(int n, const thrust::device_vector<int> &row_ptr,
+          const thrust::device_vector<int> &col_idx,
+          const thrust::device_vector<double> &values,
+          const thrust::device_vector<double> &x, thrust::device_vector<double> &y)
+{
+    thrust::for_each(thrust::device,
+                     thrust::counting_iterator<int>(0),
+                     thrust::counting_iterator<int>(n),
+                     spmv_functor(thrust::raw_pointer_cast(row_ptr.data()),
+                                  thrust::raw_pointer_cast(col_idx.data()),
+                                  thrust::raw_pointer_cast(values.data()),
+                                  thrust::raw_pointer_cast(x.data()),
+                                  thrust::raw_pointer_cast(y.data())));
+}
+"""
+
+_THRUST_JACOBI = """#include <thrust/device_vector.h>
+#include <thrust/for_each.h>
+#include <thrust/iterator/counting_iterator.h>
+#include <thrust/execution_policy.h>
+
+// 3D Jacobi stencil sweep, one thread per grid point via counting_iterator
+struct jacobi_functor
+{
+    int n;
+    const double *u;
+    double *u_new;
+    jacobi_functor(int n_, const double *u_, double *un_) : n(n_), u(u_), u_new(un_) {}
+    __host__ __device__ void operator()(int idx) const
+    {
+        int i = idx / (n * n);
+        int j = (idx / n) % n;
+        int k = idx % n;
+        if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1 && k >= 1 && k < n - 1) {
+            u_new[idx] = (u[(i - 1) * n * n + j * n + k] +
+                          u[(i + 1) * n * n + j * n + k] +
+                          u[i * n * n + (j - 1) * n + k] +
+                          u[i * n * n + (j + 1) * n + k] +
+                          u[i * n * n + j * n + (k - 1)] +
+                          u[i * n * n + j * n + (k + 1)]) / 6.0;
+        }
+    }
+};
+
+void jacobi(int n, const thrust::device_vector<double> &u, thrust::device_vector<double> &u_new)
+{
+    thrust::for_each(thrust::device,
+                     thrust::counting_iterator<int>(0),
+                     thrust::counting_iterator<int>(n * n * n),
+                     jacobi_functor(n, thrust::raw_pointer_cast(u.data()),
+                                    thrust::raw_pointer_cast(u_new.data())));
+}
+"""
+
+_THRUST_CG = """#include <thrust/device_vector.h>
+#include <thrust/transform.h>
+#include <thrust/for_each.h>
+#include <thrust/inner_product.h>
+#include <thrust/iterator/counting_iterator.h>
+#include <thrust/execution_policy.h>
+#include <cmath>
+
+// Conjugate gradient solve of A x = b for a dense SPD n x n matrix
+struct matvec_functor
+{
+    int n;
+    const double *A;
+    const double *p;
+    double *Ap;
+    matvec_functor(int n_, const double *A_, const double *p_, double *Ap_)
+        : n(n_), A(A_), p(p_), Ap(Ap_) {}
+    __host__ __device__ void operator()(int i) const
+    {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * p[j];
+        }
+        Ap[i] = sum;
+    }
+};
+
+struct saxpy_functor
+{
+    double alpha;
+    saxpy_functor(double a) : alpha(a) {}
+    __host__ __device__ double operator()(const double &x, const double &y) const
+    {
+        return y + alpha * x;
+    }
+};
+
+struct xpby_functor
+{
+    double beta;
+    xpby_functor(double b) : beta(b) {}
+    __host__ __device__ double operator()(const double &r, const double &p) const
+    {
+        return r + beta * p;
+    }
+};
+
+void cg(int n, const thrust::device_vector<double> &A, const thrust::device_vector<double> &b,
+        thrust::device_vector<double> &x, int max_iter, double tol)
+{
+    thrust::device_vector<double> r = b;
+    thrust::device_vector<double> p = b;
+    thrust::device_vector<double> Ap(n, 0.0);
+    thrust::fill(x.begin(), x.end(), 0.0);
+    double rsold = thrust::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+    for (int iter = 0; iter < max_iter; iter++) {
+        thrust::for_each(thrust::device,
+                         thrust::counting_iterator<int>(0),
+                         thrust::counting_iterator<int>(n),
+                         matvec_functor(n, thrust::raw_pointer_cast(A.data()),
+                                        thrust::raw_pointer_cast(p.data()),
+                                        thrust::raw_pointer_cast(Ap.data())));
+        double pAp = thrust::inner_product(p.begin(), p.end(), Ap.begin(), 0.0);
+        double alpha = rsold / pAp;
+        thrust::transform(p.begin(), p.end(), x.begin(), x.begin(), saxpy_functor(alpha));
+        thrust::transform(Ap.begin(), Ap.end(), r.begin(), r.begin(), saxpy_functor(-alpha));
+        double rsnew = thrust::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+        if (std::sqrt(rsnew) < tol) {
+            break;
+        }
+        double beta = rsnew / rsold;
+        thrust::transform(r.begin(), r.end(), p.begin(), p.begin(), xpby_functor(beta));
+        rsold = rsnew;
+    }
+}
+"""
+
+# ---------------------------------------------------------------------------
+# SyCL
+# ---------------------------------------------------------------------------
+
+_SYCL_AXPY = """#include <CL/sycl.hpp>
+
+// AXPY: y = a * x + y
+void axpy(int n, double a, const double *x, double *y)
+{
+    sycl::queue q;
+    {
+        sycl::buffer<double, 1> x_buf(x, sycl::range<1>(n));
+        sycl::buffer<double, 1> y_buf(y, sycl::range<1>(n));
+        q.submit([&](sycl::handler &h) {
+            auto x_acc = x_buf.get_access<sycl::access::mode::read>(h);
+            auto y_acc = y_buf.get_access<sycl::access::mode::read_write>(h);
+            h.parallel_for(sycl::range<1>(n), [=](sycl::id<1> i) {
+                y_acc[i] = a * x_acc[i] + y_acc[i];
+            });
+        });
+        q.wait();
+    }
+}
+"""
+
+_SYCL_GEMV = """#include <CL/sycl.hpp>
+
+// GEMV: y = A * x, one work-item per row
+void gemv(int m, int n, const double *A, const double *x, double *y)
+{
+    sycl::queue q;
+    {
+        sycl::buffer<double, 1> A_buf(A, sycl::range<1>(m * n));
+        sycl::buffer<double, 1> x_buf(x, sycl::range<1>(n));
+        sycl::buffer<double, 1> y_buf(y, sycl::range<1>(m));
+        q.submit([&](sycl::handler &h) {
+            auto A_acc = A_buf.get_access<sycl::access::mode::read>(h);
+            auto x_acc = x_buf.get_access<sycl::access::mode::read>(h);
+            auto y_acc = y_buf.get_access<sycl::access::mode::write>(h);
+            h.parallel_for(sycl::range<1>(m), [=](sycl::id<1> i) {
+                double sum = 0.0;
+                for (int j = 0; j < n; j++) {
+                    sum += A_acc[i * n + j] * x_acc[j];
+                }
+                y_acc[i] = sum;
+            });
+        });
+        q.wait();
+    }
+}
+"""
+
+_SYCL_GEMM = """#include <CL/sycl.hpp>
+
+// GEMM: C = A * B, one work-item per output element
+void gemm(int m, int n, int k, const double *A, const double *B, double *C)
+{
+    sycl::queue q;
+    {
+        sycl::buffer<double, 1> A_buf(A, sycl::range<1>(m * k));
+        sycl::buffer<double, 1> B_buf(B, sycl::range<1>(k * n));
+        sycl::buffer<double, 1> C_buf(C, sycl::range<1>(m * n));
+        q.submit([&](sycl::handler &h) {
+            auto A_acc = A_buf.get_access<sycl::access::mode::read>(h);
+            auto B_acc = B_buf.get_access<sycl::access::mode::read>(h);
+            auto C_acc = C_buf.get_access<sycl::access::mode::write>(h);
+            h.parallel_for(sycl::range<2>(m, n), [=](sycl::id<2> idx) {
+                int i = idx[0];
+                int j = idx[1];
+                double sum = 0.0;
+                for (int l = 0; l < k; l++) {
+                    sum += A_acc[i * k + l] * B_acc[l * n + j];
+                }
+                C_acc[i * n + j] = sum;
+            });
+        });
+        q.wait();
+    }
+}
+"""
+
+_SYCL_SPMV = """#include <CL/sycl.hpp>
+
+// SpMV: y = A * x for a CSR matrix, one work-item per row
+void spmv(int n, int nnz, const int *row_ptr, const int *col_idx,
+          const double *values, const double *x, double *y)
+{
+    sycl::queue q;
+    {
+        sycl::buffer<int, 1> rp_buf(row_ptr, sycl::range<1>(n + 1));
+        sycl::buffer<int, 1> ci_buf(col_idx, sycl::range<1>(nnz));
+        sycl::buffer<double, 1> v_buf(values, sycl::range<1>(nnz));
+        sycl::buffer<double, 1> x_buf(x, sycl::range<1>(n));
+        sycl::buffer<double, 1> y_buf(y, sycl::range<1>(n));
+        q.submit([&](sycl::handler &h) {
+            auto rp = rp_buf.get_access<sycl::access::mode::read>(h);
+            auto ci = ci_buf.get_access<sycl::access::mode::read>(h);
+            auto v = v_buf.get_access<sycl::access::mode::read>(h);
+            auto x_acc = x_buf.get_access<sycl::access::mode::read>(h);
+            auto y_acc = y_buf.get_access<sycl::access::mode::write>(h);
+            h.parallel_for(sycl::range<1>(n), [=](sycl::id<1> i) {
+                double sum = 0.0;
+                for (int j = rp[i]; j < rp[i + 1]; j++) {
+                    sum += v[j] * x_acc[ci[j]];
+                }
+                y_acc[i] = sum;
+            });
+        });
+        q.wait();
+    }
+}
+"""
+
+_SYCL_JACOBI = """#include <CL/sycl.hpp>
+
+// 3D Jacobi stencil sweep, one work-item per interior grid point
+void jacobi(int n, const double *u, double *u_new)
+{
+    sycl::queue q;
+    {
+        sycl::buffer<double, 1> u_buf(u, sycl::range<1>(n * n * n));
+        sycl::buffer<double, 1> un_buf(u_new, sycl::range<1>(n * n * n));
+        q.submit([&](sycl::handler &h) {
+            auto u_acc = u_buf.get_access<sycl::access::mode::read>(h);
+            auto un_acc = un_buf.get_access<sycl::access::mode::write>(h);
+            h.parallel_for(sycl::range<3>(n - 2, n - 2, n - 2), [=](sycl::id<3> idx) {
+                int i = idx[0] + 1;
+                int j = idx[1] + 1;
+                int k = idx[2] + 1;
+                int c = i * n * n + j * n + k;
+                un_acc[c] = (u_acc[(i - 1) * n * n + j * n + k] +
+                             u_acc[(i + 1) * n * n + j * n + k] +
+                             u_acc[i * n * n + (j - 1) * n + k] +
+                             u_acc[i * n * n + (j + 1) * n + k] +
+                             u_acc[i * n * n + j * n + (k - 1)] +
+                             u_acc[i * n * n + j * n + (k + 1)]) / 6.0;
+            });
+        });
+        q.wait();
+    }
+}
+"""
+
+_SYCL_CG = """#include <CL/sycl.hpp>
+#include <cmath>
+#include <vector>
+
+// Conjugate gradient solve of A x = b for a dense SPD n x n matrix
+static double dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); i++) {
+        sum += a[i] * b[i];
+    }
+    return sum;
+}
+
+void cg(int n, const double *A, const double *b, double *x, int max_iter, double tol)
+{
+    sycl::queue q;
+    std::vector<double> r(b, b + n), p(b, b + n), Ap(n, 0.0);
+    for (int i = 0; i < n; i++) {
+        x[i] = 0.0;
+    }
+    double rsold = dot(r, r);
+    sycl::buffer<double, 1> A_buf(A, sycl::range<1>(n * n));
+    for (int iter = 0; iter < max_iter; iter++) {
+        {
+            sycl::buffer<double, 1> p_buf(p.data(), sycl::range<1>(n));
+            sycl::buffer<double, 1> Ap_buf(Ap.data(), sycl::range<1>(n));
+            q.submit([&](sycl::handler &h) {
+                auto A_acc = A_buf.get_access<sycl::access::mode::read>(h);
+                auto p_acc = p_buf.get_access<sycl::access::mode::read>(h);
+                auto Ap_acc = Ap_buf.get_access<sycl::access::mode::write>(h);
+                h.parallel_for(sycl::range<1>(n), [=](sycl::id<1> i) {
+                    double sum = 0.0;
+                    for (int j = 0; j < n; j++) {
+                        sum += A_acc[i * n + j] * p_acc[j];
+                    }
+                    Ap_acc[i] = sum;
+                });
+            });
+            q.wait();
+        }
+        double pAp = dot(p, Ap);
+        double alpha = rsold / pAp;
+        for (int i = 0; i < n; i++) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * Ap[i];
+        }
+        double rsnew = dot(r, r);
+        if (std::sqrt(rsnew) < tol) {
+            break;
+        }
+        double beta = rsnew / rsold;
+        for (int i = 0; i < n; i++) {
+            p[i] = r[i] + beta * p[i];
+        }
+        rsold = rsnew;
+    }
+}
+"""
+
+
+TEMPLATES: dict[tuple[str, str], str] = {
+    ("kokkos", "axpy"): _KOKKOS_AXPY,
+    ("kokkos", "gemv"): _KOKKOS_GEMV,
+    ("kokkos", "gemm"): _KOKKOS_GEMM,
+    ("kokkos", "spmv"): _KOKKOS_SPMV,
+    ("kokkos", "jacobi"): _KOKKOS_JACOBI,
+    ("kokkos", "cg"): _KOKKOS_CG,
+    ("thrust", "axpy"): _THRUST_AXPY,
+    ("thrust", "gemv"): _THRUST_GEMV,
+    ("thrust", "gemm"): _THRUST_GEMM,
+    ("thrust", "spmv"): _THRUST_SPMV,
+    ("thrust", "jacobi"): _THRUST_JACOBI,
+    ("thrust", "cg"): _THRUST_CG,
+    ("sycl", "axpy"): _SYCL_AXPY,
+    ("sycl", "gemv"): _SYCL_GEMV,
+    ("sycl", "gemm"): _SYCL_GEMM,
+    ("sycl", "spmv"): _SYCL_SPMV,
+    ("sycl", "jacobi"): _SYCL_JACOBI,
+    ("sycl", "cg"): _SYCL_CG,
+}

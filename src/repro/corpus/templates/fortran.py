@@ -1,0 +1,249 @@
+"""Fortran templates: OpenMP, OpenMP offload and OpenACC subroutines.
+
+Fortran is 1-based and column-major; the templates use the canonical
+``do i = 1, n`` loops and directive sentinels (``!$omp`` / ``!$acc``) that
+legacy HPC codes use, wrapped in ``subroutine`` / ``end subroutine`` blocks —
+the code keyword the paper found essential for good Fortran prompts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEMPLATES"]
+
+
+def _axpy(open_directive: str, close_directive: str) -> str:
+    return f"""! AXPY: y = a * x + y
+subroutine axpy(n, a, x, y)
+    implicit none
+    integer, intent(in) :: n
+    real(8), intent(in) :: a
+    real(8), intent(in) :: x(n)
+    real(8), intent(inout) :: y(n)
+    integer :: i
+    {open_directive}
+    do i = 1, n
+        y(i) = a * x(i) + y(i)
+    end do
+    {close_directive}
+end subroutine axpy
+"""
+
+
+def _gemv(open_directive: str, close_directive: str) -> str:
+    return f"""! GEMV: y = A * x for an m x n matrix
+subroutine gemv(m, n, A, x, y)
+    implicit none
+    integer, intent(in) :: m, n
+    real(8), intent(in) :: A(m, n)
+    real(8), intent(in) :: x(n)
+    real(8), intent(out) :: y(m)
+    integer :: i, j
+    real(8) :: sum
+    {open_directive}
+    do i = 1, m
+        sum = 0.0d0
+        do j = 1, n
+            sum = sum + A(i, j) * x(j)
+        end do
+        y(i) = sum
+    end do
+    {close_directive}
+end subroutine gemv
+"""
+
+
+def _gemm(open_directive: str, close_directive: str) -> str:
+    return f"""! GEMM: C = A * B for (m x k) * (k x n) matrices
+subroutine gemm(m, n, k, A, B, C)
+    implicit none
+    integer, intent(in) :: m, n, k
+    real(8), intent(in) :: A(m, k)
+    real(8), intent(in) :: B(k, n)
+    real(8), intent(out) :: C(m, n)
+    integer :: i, j, l
+    real(8) :: sum
+    {open_directive}
+    do j = 1, n
+        do i = 1, m
+            sum = 0.0d0
+            do l = 1, k
+                sum = sum + A(i, l) * B(l, j)
+            end do
+            C(i, j) = sum
+        end do
+    end do
+    {close_directive}
+end subroutine gemm
+"""
+
+
+def _spmv(open_directive: str, close_directive: str) -> str:
+    return f"""! SpMV: y = A * x for a CSR matrix with n rows
+subroutine spmv(n, row_ptr, col_idx, values, x, y)
+    implicit none
+    integer, intent(in) :: n
+    integer, intent(in) :: row_ptr(n + 1)
+    integer, intent(in) :: col_idx(*)
+    real(8), intent(in) :: values(*)
+    real(8), intent(in) :: x(n)
+    real(8), intent(out) :: y(n)
+    integer :: i, j
+    real(8) :: sum
+    {open_directive}
+    do i = 1, n
+        sum = 0.0d0
+        do j = row_ptr(i), row_ptr(i + 1) - 1
+            sum = sum + values(j) * x(col_idx(j))
+        end do
+        y(i) = sum
+    end do
+    {close_directive}
+end subroutine spmv
+"""
+
+
+def _jacobi(open_directive: str, close_directive: str) -> str:
+    return f"""! 3D Jacobi stencil sweep on an n x n x n grid with fixed boundaries
+subroutine jacobi(n, u, u_new)
+    implicit none
+    integer, intent(in) :: n
+    real(8), intent(in) :: u(n, n, n)
+    real(8), intent(out) :: u_new(n, n, n)
+    integer :: i, j, k
+    {open_directive}
+    do k = 2, n - 1
+        do j = 2, n - 1
+            do i = 2, n - 1
+                u_new(i, j, k) = (u(i - 1, j, k) + u(i + 1, j, k) + &
+                                  u(i, j - 1, k) + u(i, j + 1, k) + &
+                                  u(i, j, k - 1) + u(i, j, k + 1)) / 6.0d0
+            end do
+        end do
+    end do
+    {close_directive}
+end subroutine jacobi
+"""
+
+
+def _cg(loop_open: str, loop_close: str, red_open: str, red_close: str) -> str:
+    return f"""! Conjugate gradient solve of A x = b for a dense SPD n x n matrix
+subroutine cg(n, A, b, x, max_iter, tol)
+    implicit none
+    integer, intent(in) :: n, max_iter
+    real(8), intent(in) :: A(n, n)
+    real(8), intent(in) :: b(n)
+    real(8), intent(out) :: x(n)
+    real(8), intent(in) :: tol
+    real(8) :: r(n), p(n), Ap(n)
+    real(8) :: rsold, rsnew, alpha, beta, pAp, sum
+    integer :: i, j, iter
+    do i = 1, n
+        x(i) = 0.0d0
+        r(i) = b(i)
+        p(i) = r(i)
+    end do
+    rsold = 0.0d0
+    {red_open.replace("REDVAR", "rsold")}
+    do i = 1, n
+        rsold = rsold + r(i) * r(i)
+    end do
+    {red_close}
+    do iter = 1, max_iter
+        {loop_open}
+        do i = 1, n
+            sum = 0.0d0
+            do j = 1, n
+                sum = sum + A(i, j) * p(j)
+            end do
+            Ap(i) = sum
+        end do
+        {loop_close}
+        pAp = 0.0d0
+        {red_open.replace("REDVAR", "pAp")}
+        do i = 1, n
+            pAp = pAp + p(i) * Ap(i)
+        end do
+        {red_close}
+        alpha = rsold / pAp
+        {loop_open}
+        do i = 1, n
+            x(i) = x(i) + alpha * p(i)
+            r(i) = r(i) - alpha * Ap(i)
+        end do
+        {loop_close}
+        rsnew = 0.0d0
+        {red_open.replace("REDVAR", "rsnew")}
+        do i = 1, n
+            rsnew = rsnew + r(i) * r(i)
+        end do
+        {red_close}
+        if (sqrt(rsnew) < tol) then
+            exit
+        end if
+        beta = rsnew / rsold
+        {loop_open}
+        do i = 1, n
+            p(i) = r(i) + beta * p(i)
+        end do
+        {loop_close}
+        rsold = rsnew
+    end do
+end subroutine cg
+"""
+
+
+# -- OpenMP (CPU threads) -----------------------------------------------------
+
+_OMP_DO = "!$omp parallel do"
+_OMP_END_DO = "!$omp end parallel do"
+_OMP_DO_PRIV = "!$omp parallel do private(j, sum)"
+_OMP_DO_PRIV3 = "!$omp parallel do collapse(3)"
+_OMP_RED = "!$omp parallel do reduction(+:REDVAR)"
+_OMP_END = "!$omp end parallel do"
+
+# -- OpenMP target offload ----------------------------------------------------
+
+_OMP_TGT = "!$omp target teams distribute parallel do"
+_OMP_TGT_END = "!$omp end target teams distribute parallel do"
+_OMP_TGT_AXPY = "!$omp target teams distribute parallel do map(to: x) map(tofrom: y)"
+_OMP_TGT_GEMV = "!$omp target teams distribute parallel do private(j, sum) map(to: A, x) map(from: y)"
+_OMP_TGT_GEMM = "!$omp target teams distribute parallel do collapse(2) private(l, sum) map(to: A, B) map(from: C)"
+_OMP_TGT_SPMV = "!$omp target teams distribute parallel do private(j, sum) map(to: row_ptr, col_idx, values, x) map(from: y)"
+_OMP_TGT_JACOBI = "!$omp target teams distribute parallel do collapse(3) map(to: u) map(from: u_new)"
+_OMP_TGT_RED = "!$omp target teams distribute parallel do reduction(+:REDVAR)"
+
+# -- OpenACC --------------------------------------------------------------------
+
+_ACC = "!$acc parallel loop"
+_ACC_END = "!$acc end parallel loop"
+_ACC_AXPY = "!$acc parallel loop copyin(x) copy(y)"
+_ACC_GEMV = "!$acc parallel loop private(j, sum) copyin(A, x) copyout(y)"
+_ACC_GEMM = "!$acc parallel loop collapse(2) private(l, sum) copyin(A, B) copyout(C)"
+_ACC_SPMV = "!$acc parallel loop private(j, sum) copyin(row_ptr, col_idx, values, x) copyout(y)"
+_ACC_JACOBI = "!$acc parallel loop collapse(3) copyin(u) copyout(u_new)"
+_ACC_RED = "!$acc parallel loop reduction(+:REDVAR)"
+
+
+TEMPLATES: dict[tuple[str, str], str] = {
+    # -- OpenMP --------------------------------------------------------------
+    ("openmp", "axpy"): _axpy(_OMP_DO, _OMP_END_DO),
+    ("openmp", "gemv"): _gemv(_OMP_DO_PRIV, _OMP_END_DO),
+    ("openmp", "gemm"): _gemm(_OMP_DO_PRIV, _OMP_END_DO),
+    ("openmp", "spmv"): _spmv(_OMP_DO_PRIV, _OMP_END_DO),
+    ("openmp", "jacobi"): _jacobi(_OMP_DO_PRIV3, _OMP_END_DO),
+    ("openmp", "cg"): _cg(_OMP_DO, _OMP_END, _OMP_RED, _OMP_END),
+    # -- OpenMP offload -------------------------------------------------------
+    ("openmp_offload", "axpy"): _axpy(_OMP_TGT_AXPY, _OMP_TGT_END),
+    ("openmp_offload", "gemv"): _gemv(_OMP_TGT_GEMV, _OMP_TGT_END),
+    ("openmp_offload", "gemm"): _gemm(_OMP_TGT_GEMM, _OMP_TGT_END),
+    ("openmp_offload", "spmv"): _spmv(_OMP_TGT_SPMV, _OMP_TGT_END),
+    ("openmp_offload", "jacobi"): _jacobi(_OMP_TGT_JACOBI, _OMP_TGT_END),
+    ("openmp_offload", "cg"): _cg(_OMP_TGT, _OMP_TGT_END, _OMP_TGT_RED, _OMP_TGT_END),
+    # -- OpenACC ---------------------------------------------------------------
+    ("openacc", "axpy"): _axpy(_ACC_AXPY, _ACC_END),
+    ("openacc", "gemv"): _gemv(_ACC_GEMV, _ACC_END),
+    ("openacc", "gemm"): _gemm(_ACC_GEMM, _ACC_END),
+    ("openacc", "spmv"): _spmv(_ACC_SPMV, _ACC_END),
+    ("openacc", "jacobi"): _jacobi(_ACC_JACOBI, _ACC_END),
+    ("openacc", "cg"): _cg(_ACC, _ACC_END, _ACC_RED, _ACC_END),
+}

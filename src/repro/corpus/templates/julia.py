@@ -1,0 +1,594 @@
+"""Julia templates: Threads, CUDA.jl, AMDGPU.jl and KernelAbstractions.jl.
+
+The Threads templates use ``Threads.@threads`` loops from Julia Base; the
+GPU templates follow the canonical kernel-programming style of CUDA.jl
+(``@cuda`` launches with ``threadIdx``/``blockIdx``), AMDGPU.jl (``@roc``
+with ``workitemIdx``/``workgroupIdx``) and KernelAbstractions.jl
+(``@kernel`` functions with ``@index``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEMPLATES"]
+
+# ---------------------------------------------------------------------------
+# Threads (Julia Base)
+# ---------------------------------------------------------------------------
+
+_THREADS_AXPY = """# AXPY: y = a * x + y
+function axpy!(a, x, y)
+    Threads.@threads for i in eachindex(x)
+        y[i] = a * x[i] + y[i]
+    end
+    return y
+end
+"""
+
+_THREADS_GEMV = """# GEMV: y = A * x
+function gemv!(A, x, y)
+    m, n = size(A)
+    Threads.@threads for i in 1:m
+        s = 0.0
+        for j in 1:n
+            s += A[i, j] * x[j]
+        end
+        y[i] = s
+    end
+    return y
+end
+"""
+
+_THREADS_GEMM = """# GEMM: C = A * B
+function gemm!(A, B, C)
+    m, k = size(A)
+    n = size(B, 2)
+    Threads.@threads for i in 1:m
+        for j in 1:n
+            s = 0.0
+            for l in 1:k
+                s += A[i, l] * B[l, j]
+            end
+            C[i, j] = s
+        end
+    end
+    return C
+end
+"""
+
+_THREADS_SPMV = """# SpMV: y = A * x for a CSR matrix
+function spmv!(row_ptr, col_idx, values, x, y)
+    n = length(row_ptr) - 1
+    Threads.@threads for i in 1:n
+        s = 0.0
+        for j in row_ptr[i]:(row_ptr[i + 1] - 1)
+            s += values[j] * x[col_idx[j]]
+        end
+        y[i] = s
+    end
+    return y
+end
+"""
+
+_THREADS_JACOBI = """# 3D Jacobi stencil sweep with fixed boundaries
+function jacobi!(u, u_new)
+    n = size(u, 1)
+    Threads.@threads for i in 2:(n - 1)
+        for j in 2:(n - 1)
+            for k in 2:(n - 1)
+                u_new[i, j, k] = (u[i - 1, j, k] + u[i + 1, j, k] +
+                                  u[i, j - 1, k] + u[i, j + 1, k] +
+                                  u[i, j, k - 1] + u[i, j, k + 1]) / 6.0
+            end
+        end
+    end
+    return u_new
+end
+"""
+
+_THREADS_CG = """using LinearAlgebra
+
+# Conjugate gradient solve of A x = b for a dense SPD matrix
+function matvec!(A, p, Ap)
+    n = size(A, 1)
+    Threads.@threads for i in 1:n
+        s = 0.0
+        for j in 1:n
+            s += A[i, j] * p[j]
+        end
+        Ap[i] = s
+    end
+    return Ap
+end
+
+function cg(A, b; tol=1e-10, maxiter=1000)
+    n = length(b)
+    x = zeros(n)
+    r = copy(b)
+    p = copy(r)
+    Ap = zeros(n)
+    rsold = dot(r, r)
+    for iter in 1:maxiter
+        matvec!(A, p, Ap)
+        alpha = rsold / dot(p, Ap)
+        x .+= alpha .* p
+        r .-= alpha .* Ap
+        rsnew = dot(r, r)
+        if sqrt(rsnew) < tol
+            break
+        end
+        p .= r .+ (rsnew / rsold) .* p
+        rsold = rsnew
+    end
+    return x
+end
+"""
+
+# ---------------------------------------------------------------------------
+# CUDA.jl
+# ---------------------------------------------------------------------------
+
+_CUDA_AXPY = """using CUDA
+
+# AXPY: y = a * x + y
+function axpy_kernel!(n, a, x, y)
+    i = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    if i <= n
+        y[i] = a * x[i] + y[i]
+    end
+    return nothing
+end
+
+function axpy!(a, x, y)
+    n = length(x)
+    threads = 256
+    blocks = cld(n, threads)
+    @cuda threads=threads blocks=blocks axpy_kernel!(n, a, x, y)
+    return y
+end
+"""
+
+_CUDA_GEMV = """using CUDA
+
+# GEMV: y = A * x, one thread per row
+function gemv_kernel!(m, n, A, x, y)
+    i = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    if i <= m
+        s = 0.0
+        for j in 1:n
+            s += A[i, j] * x[j]
+        end
+        y[i] = s
+    end
+    return nothing
+end
+
+function gemv!(A, x, y)
+    m, n = size(A)
+    threads = 256
+    blocks = cld(m, threads)
+    @cuda threads=threads blocks=blocks gemv_kernel!(m, n, A, x, y)
+    return y
+end
+"""
+
+_CUDA_GEMM = """using CUDA
+
+# GEMM: C = A * B, one thread per output element
+function gemm_kernel!(m, n, k, A, B, C)
+    i = (blockIdx().y - 1) * blockDim().y + threadIdx().y
+    j = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    if i <= m && j <= n
+        s = 0.0
+        for l in 1:k
+            s += A[i, l] * B[l, j]
+        end
+        C[i, j] = s
+    end
+    return nothing
+end
+
+function gemm!(A, B, C)
+    m, k = size(A)
+    n = size(B, 2)
+    threads = (16, 16)
+    blocks = (cld(n, 16), cld(m, 16))
+    @cuda threads=threads blocks=blocks gemm_kernel!(m, n, k, A, B, C)
+    return C
+end
+"""
+
+_CUDA_SPMV = """using CUDA
+
+# SpMV: y = A * x for a CSR matrix, one thread per row
+function spmv_kernel!(n, row_ptr, col_idx, values, x, y)
+    i = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    if i <= n
+        s = 0.0
+        for j in row_ptr[i]:(row_ptr[i + 1] - 1)
+            s += values[j] * x[col_idx[j]]
+        end
+        y[i] = s
+    end
+    return nothing
+end
+
+function spmv!(row_ptr, col_idx, values, x, y)
+    n = length(row_ptr) - 1
+    threads = 256
+    blocks = cld(n, threads)
+    @cuda threads=threads blocks=blocks spmv_kernel!(n, row_ptr, col_idx, values, x, y)
+    return y
+end
+"""
+
+_CUDA_JACOBI = """using CUDA
+
+# 3D Jacobi stencil sweep, one thread per interior point
+function jacobi_kernel!(n, u, u_new)
+    i = (blockIdx().z - 1) * blockDim().z + threadIdx().z
+    j = (blockIdx().y - 1) * blockDim().y + threadIdx().y
+    k = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    if 2 <= i <= n - 1 && 2 <= j <= n - 1 && 2 <= k <= n - 1
+        u_new[i, j, k] = (u[i - 1, j, k] + u[i + 1, j, k] +
+                          u[i, j - 1, k] + u[i, j + 1, k] +
+                          u[i, j, k - 1] + u[i, j, k + 1]) / 6.0
+    end
+    return nothing
+end
+
+function jacobi!(u, u_new)
+    n = size(u, 1)
+    threads = (8, 8, 4)
+    blocks = (cld(n, 8), cld(n, 8), cld(n, 4))
+    @cuda threads=threads blocks=blocks jacobi_kernel!(n, u, u_new)
+    return u_new
+end
+"""
+
+_CUDA_CG = """using CUDA
+using LinearAlgebra
+
+# Conjugate gradient solve of A x = b for a dense SPD matrix on the GPU
+function cg(A, b; tol=1e-10, maxiter=1000)
+    A_d = CuArray(A)
+    b_d = CuArray(b)
+    x = CUDA.zeros(Float64, length(b))
+    r = b_d - A_d * x
+    p = copy(r)
+    rsold = dot(r, r)
+    for iter in 1:maxiter
+        Ap = A_d * p
+        alpha = rsold / dot(p, Ap)
+        x .+= alpha .* p
+        r .-= alpha .* Ap
+        rsnew = dot(r, r)
+        if sqrt(rsnew) < tol
+            break
+        end
+        p .= r .+ (rsnew / rsold) .* p
+        rsold = rsnew
+    end
+    return Array(x)
+end
+"""
+
+# ---------------------------------------------------------------------------
+# AMDGPU.jl
+# ---------------------------------------------------------------------------
+
+_AMDGPU_AXPY = """using AMDGPU
+
+# AXPY: y = a * x + y
+function axpy_kernel!(n, a, x, y)
+    i = (workgroupIdx().x - 1) * workgroupDim().x + workitemIdx().x
+    if i <= n
+        y[i] = a * x[i] + y[i]
+    end
+    return nothing
+end
+
+function axpy!(a, x, y)
+    n = length(x)
+    groupsize = 256
+    gridsize = cld(n, groupsize)
+    @roc groupsize=groupsize gridsize=gridsize axpy_kernel!(n, a, x, y)
+    return y
+end
+"""
+
+_AMDGPU_GEMV = """using AMDGPU
+
+# GEMV: y = A * x, one work-item per row
+function gemv_kernel!(m, n, A, x, y)
+    i = (workgroupIdx().x - 1) * workgroupDim().x + workitemIdx().x
+    if i <= m
+        s = 0.0
+        for j in 1:n
+            s += A[i, j] * x[j]
+        end
+        y[i] = s
+    end
+    return nothing
+end
+
+function gemv!(A, x, y)
+    m, n = size(A)
+    groupsize = 256
+    gridsize = cld(m, groupsize)
+    @roc groupsize=groupsize gridsize=gridsize gemv_kernel!(m, n, A, x, y)
+    return y
+end
+"""
+
+_AMDGPU_GEMM = """using AMDGPU
+
+# GEMM: C = A * B, one work-item per output element
+function gemm_kernel!(m, n, k, A, B, C)
+    i = (workgroupIdx().y - 1) * workgroupDim().y + workitemIdx().y
+    j = (workgroupIdx().x - 1) * workgroupDim().x + workitemIdx().x
+    if i <= m && j <= n
+        s = 0.0
+        for l in 1:k
+            s += A[i, l] * B[l, j]
+        end
+        C[i, j] = s
+    end
+    return nothing
+end
+
+function gemm!(A, B, C)
+    m, k = size(A)
+    n = size(B, 2)
+    groupsize = (16, 16)
+    gridsize = (cld(n, 16), cld(m, 16))
+    @roc groupsize=groupsize gridsize=gridsize gemm_kernel!(m, n, k, A, B, C)
+    return C
+end
+"""
+
+_AMDGPU_SPMV = """using AMDGPU
+
+# SpMV: y = A * x for a CSR matrix, one work-item per row
+function spmv_kernel!(n, row_ptr, col_idx, values, x, y)
+    i = (workgroupIdx().x - 1) * workgroupDim().x + workitemIdx().x
+    if i <= n
+        s = 0.0
+        for j in row_ptr[i]:(row_ptr[i + 1] - 1)
+            s += values[j] * x[col_idx[j]]
+        end
+        y[i] = s
+    end
+    return nothing
+end
+
+function spmv!(row_ptr, col_idx, values, x, y)
+    n = length(row_ptr) - 1
+    groupsize = 256
+    gridsize = cld(n, groupsize)
+    @roc groupsize=groupsize gridsize=gridsize spmv_kernel!(n, row_ptr, col_idx, values, x, y)
+    return y
+end
+"""
+
+_AMDGPU_JACOBI = """using AMDGPU
+
+# 3D Jacobi stencil sweep, one work-item per interior point
+function jacobi_kernel!(n, u, u_new)
+    i = (workgroupIdx().z - 1) * workgroupDim().z + workitemIdx().z
+    j = (workgroupIdx().y - 1) * workgroupDim().y + workitemIdx().y
+    k = (workgroupIdx().x - 1) * workgroupDim().x + workitemIdx().x
+    if 2 <= i <= n - 1 && 2 <= j <= n - 1 && 2 <= k <= n - 1
+        u_new[i, j, k] = (u[i - 1, j, k] + u[i + 1, j, k] +
+                          u[i, j - 1, k] + u[i, j + 1, k] +
+                          u[i, j, k - 1] + u[i, j, k + 1]) / 6.0
+    end
+    return nothing
+end
+
+function jacobi!(u, u_new)
+    n = size(u, 1)
+    groupsize = (8, 8, 4)
+    gridsize = (cld(n, 8), cld(n, 8), cld(n, 4))
+    @roc groupsize=groupsize gridsize=gridsize jacobi_kernel!(n, u, u_new)
+    return u_new
+end
+"""
+
+_AMDGPU_CG = """using AMDGPU
+using LinearAlgebra
+
+# Conjugate gradient solve of A x = b for a dense SPD matrix on an AMD GPU
+function cg(A, b; tol=1e-10, maxiter=1000)
+    A_d = ROCArray(A)
+    b_d = ROCArray(b)
+    x = AMDGPU.zeros(Float64, length(b))
+    r = b_d - A_d * x
+    p = copy(r)
+    rsold = dot(r, r)
+    for iter in 1:maxiter
+        Ap = A_d * p
+        alpha = rsold / dot(p, Ap)
+        x .+= alpha .* p
+        r .-= alpha .* Ap
+        rsnew = dot(r, r)
+        if sqrt(rsnew) < tol
+            break
+        end
+        p .= r .+ (rsnew / rsold) .* p
+        rsold = rsnew
+    end
+    return Array(x)
+end
+"""
+
+# ---------------------------------------------------------------------------
+# KernelAbstractions.jl
+# ---------------------------------------------------------------------------
+
+_KA_AXPY = """using KernelAbstractions
+
+# AXPY: y = a * x + y
+@kernel function axpy_kernel!(y, a, @Const(x))
+    i = @index(Global)
+    y[i] = a * x[i] + y[i]
+end
+
+function axpy!(a, x, y; backend=CPU())
+    kernel! = axpy_kernel!(backend)
+    kernel!(y, a, x; ndrange=length(x))
+    KernelAbstractions.synchronize(backend)
+    return y
+end
+"""
+
+_KA_GEMV = """using KernelAbstractions
+
+# GEMV: y = A * x, one work-item per row
+@kernel function gemv_kernel!(y, @Const(A), @Const(x), n)
+    i = @index(Global)
+    s = 0.0
+    for j in 1:n
+        s += A[i, j] * x[j]
+    end
+    y[i] = s
+end
+
+function gemv!(A, x, y; backend=CPU())
+    m, n = size(A)
+    kernel! = gemv_kernel!(backend)
+    kernel!(y, A, x, n; ndrange=m)
+    KernelAbstractions.synchronize(backend)
+    return y
+end
+"""
+
+_KA_GEMM = """using KernelAbstractions
+
+# GEMM: C = A * B, one work-item per output element
+@kernel function gemm_kernel!(C, @Const(A), @Const(B), k)
+    i, j = @index(Global, NTuple)
+    s = 0.0
+    for l in 1:k
+        s += A[i, l] * B[l, j]
+    end
+    C[i, j] = s
+end
+
+function gemm!(A, B, C; backend=CPU())
+    m, k = size(A)
+    n = size(B, 2)
+    kernel! = gemm_kernel!(backend)
+    kernel!(C, A, B, k; ndrange=(m, n))
+    KernelAbstractions.synchronize(backend)
+    return C
+end
+"""
+
+_KA_SPMV = """using KernelAbstractions
+
+# SpMV: y = A * x for a CSR matrix, one work-item per row
+@kernel function spmv_kernel!(y, @Const(row_ptr), @Const(col_idx), @Const(values), @Const(x))
+    i = @index(Global)
+    s = 0.0
+    for j in row_ptr[i]:(row_ptr[i + 1] - 1)
+        s += values[j] * x[col_idx[j]]
+    end
+    y[i] = s
+end
+
+function spmv!(row_ptr, col_idx, values, x, y; backend=CPU())
+    n = length(row_ptr) - 1
+    kernel! = spmv_kernel!(backend)
+    kernel!(y, row_ptr, col_idx, values, x; ndrange=n)
+    KernelAbstractions.synchronize(backend)
+    return y
+end
+"""
+
+_KA_JACOBI = """using KernelAbstractions
+
+# 3D Jacobi stencil sweep over the interior points
+@kernel function jacobi_kernel!(u_new, @Const(u))
+    i, j, k = @index(Global, NTuple)
+    i += 1
+    j += 1
+    k += 1
+    u_new[i, j, k] = (u[i - 1, j, k] + u[i + 1, j, k] +
+                      u[i, j - 1, k] + u[i, j + 1, k] +
+                      u[i, j, k - 1] + u[i, j, k + 1]) / 6.0
+end
+
+function jacobi!(u, u_new; backend=CPU())
+    n = size(u, 1)
+    kernel! = jacobi_kernel!(backend)
+    kernel!(u_new, u; ndrange=(n - 2, n - 2, n - 2))
+    KernelAbstractions.synchronize(backend)
+    return u_new
+end
+"""
+
+_KA_CG = """using KernelAbstractions
+using LinearAlgebra
+
+# Conjugate gradient solve of A x = b with a KernelAbstractions matvec
+@kernel function matvec_kernel!(Ap, @Const(A), @Const(p), n)
+    i = @index(Global)
+    s = 0.0
+    for j in 1:n
+        s += A[i, j] * p[j]
+    end
+    Ap[i] = s
+end
+
+function cg(A, b; tol=1e-10, maxiter=1000, backend=CPU())
+    n = length(b)
+    x = zeros(n)
+    r = copy(b)
+    p = copy(r)
+    Ap = zeros(n)
+    rsold = dot(r, r)
+    kernel! = matvec_kernel!(backend)
+    for iter in 1:maxiter
+        kernel!(Ap, A, p, n; ndrange=n)
+        KernelAbstractions.synchronize(backend)
+        alpha = rsold / dot(p, Ap)
+        x .+= alpha .* p
+        r .-= alpha .* Ap
+        rsnew = dot(r, r)
+        if sqrt(rsnew) < tol
+            break
+        end
+        p .= r .+ (rsnew / rsold) .* p
+        rsold = rsnew
+    end
+    return x
+end
+"""
+
+
+TEMPLATES: dict[tuple[str, str], str] = {
+    ("threads", "axpy"): _THREADS_AXPY,
+    ("threads", "gemv"): _THREADS_GEMV,
+    ("threads", "gemm"): _THREADS_GEMM,
+    ("threads", "spmv"): _THREADS_SPMV,
+    ("threads", "jacobi"): _THREADS_JACOBI,
+    ("threads", "cg"): _THREADS_CG,
+    ("cuda", "axpy"): _CUDA_AXPY,
+    ("cuda", "gemv"): _CUDA_GEMV,
+    ("cuda", "gemm"): _CUDA_GEMM,
+    ("cuda", "spmv"): _CUDA_SPMV,
+    ("cuda", "jacobi"): _CUDA_JACOBI,
+    ("cuda", "cg"): _CUDA_CG,
+    ("amdgpu", "axpy"): _AMDGPU_AXPY,
+    ("amdgpu", "gemv"): _AMDGPU_GEMV,
+    ("amdgpu", "gemm"): _AMDGPU_GEMM,
+    ("amdgpu", "spmv"): _AMDGPU_SPMV,
+    ("amdgpu", "jacobi"): _AMDGPU_JACOBI,
+    ("amdgpu", "cg"): _AMDGPU_CG,
+    ("kernelabstractions", "axpy"): _KA_AXPY,
+    ("kernelabstractions", "gemv"): _KA_GEMV,
+    ("kernelabstractions", "gemm"): _KA_GEMM,
+    ("kernelabstractions", "spmv"): _KA_SPMV,
+    ("kernelabstractions", "jacobi"): _KA_JACOBI,
+    ("kernelabstractions", "cg"): _KA_CG,
+}

@@ -1,0 +1,379 @@
+"""Python templates for the GPU models: cuPy and pyCUDA.
+
+The paper notes that the *successful* cuPy and pyCUDA suggestions embed a
+correct raw CUDA kernel as a user-defined kernel (as documented in the cuPy
+``RawKernel`` and pyCUDA ``SourceModule`` examples), so the templates follow
+that style where it is idiomatic and fall back to the array API otherwise.
+
+The evaluation sandbox executes these templates against numpy oracles using
+the fake GPU runtimes in :mod:`repro.sandbox` — ``cupy`` arrays are backed by
+numpy and ``RawKernel``/``SourceModule`` sources run on the miniature CUDA-C
+interpreter.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEMPLATES"]
+
+# ---------------------------------------------------------------------------
+# cuPy
+# ---------------------------------------------------------------------------
+
+_CUPY_AXPY = '''import cupy as cp
+
+_axpy_kernel = cp.RawKernel(r"""
+extern "C" __global__
+void axpy(const int n, const double a, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+""", "axpy")
+
+
+def axpy(a, x, y):
+    """AXPY: return a * x + y using a raw CUDA kernel."""
+    x_gpu = cp.asarray(x)
+    y_gpu = cp.asarray(y)
+    n = int(x_gpu.size)
+    threads = 256
+    blocks = (n + threads - 1) // threads
+    _axpy_kernel((blocks,), (threads,), (n, float(a), x_gpu, y_gpu))
+    return cp.asnumpy(y_gpu)
+'''
+
+_CUPY_GEMV = '''import cupy as cp
+
+
+def gemv(A, x):
+    """GEMV: y = A @ x on the GPU."""
+    A_gpu = cp.asarray(A)
+    x_gpu = cp.asarray(x)
+    y_gpu = cp.dot(A_gpu, x_gpu)
+    return cp.asnumpy(y_gpu)
+'''
+
+_CUPY_GEMM = '''import cupy as cp
+
+
+def gemm(A, B):
+    """GEMM: C = A @ B on the GPU."""
+    A_gpu = cp.asarray(A)
+    B_gpu = cp.asarray(B)
+    C_gpu = cp.matmul(A_gpu, B_gpu)
+    return cp.asnumpy(C_gpu)
+'''
+
+_CUPY_SPMV = '''import cupy as cp
+
+_spmv_kernel = cp.RawKernel(r"""
+extern "C" __global__
+void spmv(const int n, const int *row_ptr, const int *col_idx,
+          const double *values, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+            sum += values[j] * x[col_idx[j]];
+        }
+        y[i] = sum;
+    }
+}
+""", "spmv")
+
+
+def spmv(row_ptr, col_idx, values, x):
+    """SpMV: y = A @ x for a CSR matrix using a raw CUDA kernel."""
+    rp = cp.asarray(row_ptr, dtype=cp.int32)
+    ci = cp.asarray(col_idx, dtype=cp.int32)
+    v = cp.asarray(values)
+    x_gpu = cp.asarray(x)
+    n = int(rp.size) - 1
+    y_gpu = cp.zeros(n)
+    threads = 256
+    blocks = (n + threads - 1) // threads
+    _spmv_kernel((blocks,), (threads,), (n, rp, ci, v, x_gpu, y_gpu))
+    return cp.asnumpy(y_gpu)
+'''
+
+_CUPY_JACOBI = '''import cupy as cp
+
+
+def jacobi(u):
+    """One 3D Jacobi sweep with fixed boundary values on the GPU."""
+    u_gpu = cp.asarray(u)
+    u_new = u_gpu.copy()
+    u_new[1:-1, 1:-1, 1:-1] = (
+        u_gpu[:-2, 1:-1, 1:-1] + u_gpu[2:, 1:-1, 1:-1] +
+        u_gpu[1:-1, :-2, 1:-1] + u_gpu[1:-1, 2:, 1:-1] +
+        u_gpu[1:-1, 1:-1, :-2] + u_gpu[1:-1, 1:-1, 2:]
+    ) / 6.0
+    return cp.asnumpy(u_new)
+'''
+
+_CUPY_CG = '''import cupy as cp
+
+
+def cg(A, b, tol=1e-10, max_iter=1000):
+    """Solve A x = b for SPD A with conjugate gradients on the GPU."""
+    A_gpu = cp.asarray(A)
+    b_gpu = cp.asarray(b)
+    x = cp.zeros_like(b_gpu)
+    r = b_gpu - cp.dot(A_gpu, x)
+    p = r.copy()
+    rsold = float(cp.dot(r, r))
+    for _ in range(max_iter):
+        Ap = cp.dot(A_gpu, p)
+        alpha = rsold / float(cp.dot(p, Ap))
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rsnew = float(cp.dot(r, r))
+        if rsnew ** 0.5 < tol:
+            break
+        p = r + (rsnew / rsold) * p
+        rsold = rsnew
+    return cp.asnumpy(x)
+'''
+
+# ---------------------------------------------------------------------------
+# pyCUDA
+# ---------------------------------------------------------------------------
+
+_PYCUDA_AXPY = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void axpy(const int n, const double a, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+""")
+_axpy = _mod.get_function("axpy")
+
+
+def axpy(a, x, y):
+    """AXPY: return a * x + y using a pyCUDA SourceModule kernel."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).copy()
+    n = np.int32(x.size)
+    threads = 256
+    blocks = (x.size + threads - 1) // threads
+    _axpy(n, np.float64(a), drv.In(x), drv.InOut(y),
+          block=(threads, 1, 1), grid=(blocks, 1))
+    return y
+'''
+
+_PYCUDA_GEMV = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void gemv(const int m, const int n, const double *A, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * x[j];
+        }
+        y[i] = sum;
+    }
+}
+""")
+_gemv = _mod.get_function("gemv")
+
+
+def gemv(A, x):
+    """GEMV: y = A @ x using a pyCUDA SourceModule kernel."""
+    A = np.ascontiguousarray(A, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    m, n = A.shape
+    y = np.zeros(m, dtype=np.float64)
+    threads = 256
+    blocks = (m + threads - 1) // threads
+    _gemv(np.int32(m), np.int32(n), drv.In(A), drv.In(x), drv.Out(y),
+          block=(threads, 1, 1), grid=(blocks, 1))
+    return y
+'''
+
+_PYCUDA_GEMM = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void gemm(const int m, const int n, const int k,
+                     const double *A, const double *B, double *C)
+{
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m && j < n) {
+        double sum = 0.0;
+        for (int l = 0; l < k; l++) {
+            sum += A[i * k + l] * B[l * n + j];
+        }
+        C[i * n + j] = sum;
+    }
+}
+""")
+_gemm = _mod.get_function("gemm")
+
+
+def gemm(A, B):
+    """GEMM: C = A @ B using a pyCUDA SourceModule kernel."""
+    A = np.ascontiguousarray(A, dtype=np.float64)
+    B = np.ascontiguousarray(B, dtype=np.float64)
+    m, k = A.shape
+    n = B.shape[1]
+    C = np.zeros((m, n), dtype=np.float64)
+    threads = (16, 16, 1)
+    grid = ((n + 15) // 16, (m + 15) // 16)
+    _gemm(np.int32(m), np.int32(n), np.int32(k), drv.In(A), drv.In(B), drv.Out(C),
+          block=threads, grid=grid)
+    return C
+'''
+
+_PYCUDA_SPMV = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void spmv(const int n, const int *row_ptr, const int *col_idx,
+                     const double *values, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) {
+            sum += values[j] * x[col_idx[j]];
+        }
+        y[i] = sum;
+    }
+}
+""")
+_spmv = _mod.get_function("spmv")
+
+
+def spmv(row_ptr, col_idx, values, x):
+    """SpMV: y = A @ x for a CSR matrix using a pyCUDA SourceModule kernel."""
+    row_ptr = np.asarray(row_ptr, dtype=np.int32)
+    col_idx = np.asarray(col_idx, dtype=np.int32)
+    values = np.asarray(values, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    n = row_ptr.size - 1
+    y = np.zeros(n, dtype=np.float64)
+    threads = 256
+    blocks = (n + threads - 1) // threads
+    _spmv(np.int32(n), drv.In(row_ptr), drv.In(col_idx), drv.In(values),
+          drv.In(x), drv.Out(y), block=(threads, 1, 1), grid=(blocks, 1))
+    return y
+'''
+
+_PYCUDA_JACOBI = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void jacobi(const int n, const double *u, double *u_new)
+{
+    int i = blockIdx.z * blockDim.z + threadIdx.z;
+    int j = blockIdx.y * blockDim.y + threadIdx.y;
+    int k = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1 && k >= 1 && k < n - 1) {
+        int idx = i * n * n + j * n + k;
+        u_new[idx] = (u[(i - 1) * n * n + j * n + k] +
+                      u[(i + 1) * n * n + j * n + k] +
+                      u[i * n * n + (j - 1) * n + k] +
+                      u[i * n * n + (j + 1) * n + k] +
+                      u[i * n * n + j * n + (k - 1)] +
+                      u[i * n * n + j * n + (k + 1)]) / 6.0;
+    }
+}
+""")
+_jacobi = _mod.get_function("jacobi")
+
+
+def jacobi(u):
+    """One 3D Jacobi sweep using a pyCUDA SourceModule kernel."""
+    u = np.ascontiguousarray(u, dtype=np.float64)
+    n = u.shape[0]
+    u_new = u.copy()
+    threads = (4, 4, 4)
+    grid = ((n + 3) // 4, (n + 3) // 4, (n + 3) // 4)
+    _jacobi(np.int32(n), drv.In(u), drv.InOut(u_new), block=threads, grid=grid)
+    return u_new
+'''
+
+_PYCUDA_CG = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void matvec(const int n, const double *A, const double *p, double *Ap)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * p[j];
+        }
+        Ap[i] = sum;
+    }
+}
+""")
+_matvec = _mod.get_function("matvec")
+
+
+def cg(A, b, tol=1e-10, max_iter=1000):
+    """Solve A x = b for SPD A; the matrix-vector product runs on the GPU."""
+    A = np.ascontiguousarray(A, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    x = np.zeros(n, dtype=np.float64)
+    r = b.copy()
+    p = r.copy()
+    rsold = float(np.dot(r, r))
+    threads = 256
+    blocks = (n + threads - 1) // threads
+    for _ in range(max_iter):
+        Ap = np.zeros(n, dtype=np.float64)
+        _matvec(np.int32(n), drv.In(A), drv.In(p), drv.Out(Ap),
+                block=(threads, 1, 1), grid=(blocks, 1))
+        alpha = rsold / float(np.dot(p, Ap))
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rsnew = float(np.dot(r, r))
+        if np.sqrt(rsnew) < tol:
+            break
+        p = r + (rsnew / rsold) * p
+        rsold = rsnew
+    return x
+'''
+
+
+TEMPLATES: dict[tuple[str, str], str] = {
+    ("cupy", "axpy"): _CUPY_AXPY,
+    ("cupy", "gemv"): _CUPY_GEMV,
+    ("cupy", "gemm"): _CUPY_GEMM,
+    ("cupy", "spmv"): _CUPY_SPMV,
+    ("cupy", "jacobi"): _CUPY_JACOBI,
+    ("cupy", "cg"): _CUPY_CG,
+    ("pycuda", "axpy"): _PYCUDA_AXPY,
+    ("pycuda", "gemv"): _PYCUDA_GEMV,
+    ("pycuda", "gemm"): _PYCUDA_GEMM,
+    ("pycuda", "spmv"): _PYCUDA_SPMV,
+    ("pycuda", "jacobi"): _PYCUDA_JACOBI,
+    ("pycuda", "cg"): _PYCUDA_CG,
+}

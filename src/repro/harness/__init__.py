@@ -1,0 +1,38 @@
+"""Reproduction harness: one entry point per table and figure of the paper.
+
+The functions in :mod:`repro.harness.experiments` regenerate the paper's
+artefacts (Tables 2-5, Figures 2-6) plus the ablations listed in DESIGN.md;
+:mod:`repro.harness.tables` and :mod:`repro.harness.figures` render them as
+text; :mod:`repro.harness.io` persists raw per-cell records; and
+:mod:`repro.harness.cli` wires everything into the ``repro-hpc-codex``
+command-line tool.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import (
+    ExperimentReport,
+    run_table,
+    run_figure,
+    run_overall_figure,
+    run_keyword_ablation,
+    run_maturity_ablation,
+    run_suggestion_count_ablation,
+    TABLE_LANGUAGES,
+)
+from repro.harness.tables import render_language_table
+from repro.harness.figures import figure_data, render_figure
+
+__all__ = [
+    "ExperimentReport",
+    "run_table",
+    "run_figure",
+    "run_overall_figure",
+    "run_keyword_ablation",
+    "run_maturity_ablation",
+    "run_suggestion_count_ablation",
+    "TABLE_LANGUAGES",
+    "render_language_table",
+    "figure_data",
+    "render_figure",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: ``repro-hpc-codex``.
+
+Sub-commands
+------------
+
+``run``        Evaluate the full Table 1 grid, print every table/figure and
+               optionally write the per-cell records to CSV/JSON.
+``table N``    Reproduce Table N (2-5) and print it next to the paper values.
+``figure N``   Reproduce Figure N (2-6).
+``ablation X`` Run one of the ablations (``keywords``, ``maturity``,
+               ``suggestions``).
+``compare``    Print the shape-agreement summary for every language.
+``prompt``     Show the suggestions generated for a single prompt (debugging
+               / exploration aid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.codex.config import DEFAULT_SEED
+from repro.codex.engine import SimulatedCodex
+from repro.codex.prompt import Prompt
+from repro.core.compare import compare_to_paper
+from repro.core.evaluator import PromptEvaluator
+from repro.harness import experiments
+from repro.harness.io import save_records_csv, save_records_json
+from repro.models.grid import ExperimentCell
+from repro.models.languages import get_language, language_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hpc-codex",
+        description="Reproduction harness for 'Evaluation of OpenAI Codex for HPC Parallel "
+        "Programming Models Kernel Generation' (Godoy et al., ICPP-W 2023)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate the full grid and print all artefacts")
+    run.add_argument("--csv", type=str, default=None, help="write per-cell records to this CSV file")
+    run.add_argument("--json", type=str, default=None, help="write per-cell records to this JSON file")
+
+    table = sub.add_parser("table", help="reproduce one of Tables 2-5")
+    table.add_argument("number", type=int, choices=sorted(experiments.TABLE_LANGUAGES))
+
+    figure = sub.add_parser("figure", help="reproduce one of Figures 2-6")
+    figure.add_argument("number", type=int, choices=[2, 3, 4, 5, 6])
+
+    ablation = sub.add_parser("ablation", help="run one of the ablation studies")
+    ablation.add_argument("name", choices=["keywords", "maturity", "suggestions"])
+
+    sub.add_parser("compare", help="print the shape-agreement summary per language")
+
+    prompt = sub.add_parser("prompt", help="show the suggestions for a single prompt")
+    prompt.add_argument("kernel", help="kernel name (axpy, gemv, gemm, spmv, jacobi, cg)")
+    prompt.add_argument("model", help="programming model uid, e.g. cpp.openmp")
+    prompt.add_argument("--keyword", action="store_true", help="append the language post-fix keyword")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    results = experiments.run_full_results(seed=args.seed)
+    for number in sorted(experiments.TABLE_LANGUAGES):
+        report = experiments.run_table(number, seed=args.seed)
+        print(report.text)
+        print(report.summary_line())
+        print()
+    print(experiments.run_overall_figure(seed=args.seed).text)
+    if args.csv:
+        path = save_records_csv(results, args.csv)
+        print(f"wrote {path}")
+    if args.json:
+        path = save_records_json(results, args.json)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    report = experiments.run_table(args.number, seed=args.seed)
+    print(report.text)
+    print()
+    print(report.summary_line())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    report = experiments.run_figure(args.number, seed=args.seed)
+    print(report.text)
+    print()
+    print(report.summary_line())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    runners = {
+        "keywords": experiments.run_keyword_ablation,
+        "maturity": experiments.run_maturity_ablation,
+        "suggestions": experiments.run_suggestion_count_ablation,
+    }
+    report = runners[args.name](seed=args.seed)
+    print(report.text)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    for language in language_names():
+        results = experiments.run_language_results(language, seed=args.seed)
+        comparison = compare_to_paper(results, language)
+        display = get_language(language).display_name
+        print(
+            f"{display:8s} rank-correlation={comparison.cell_rank_correlation:+.2f}  "
+            f"within-one-level={comparison.within_one_level:.0%}  "
+            f"mean-abs-diff={comparison.mean_absolute_difference:.2f}  "
+            f"top-model={comparison.top_model} (paper: {comparison.paper_top_model})"
+        )
+    return 0
+
+
+def _cmd_prompt(args: argparse.Namespace) -> int:
+    model_uid = args.model.lower()
+    language = model_uid.split(".", 1)[0]
+    cell = ExperimentCell(
+        language=language, model=model_uid, kernel=args.kernel.lower(), use_postfix=args.keyword
+    )
+    prompt = Prompt.from_cell(cell)
+    engine = SimulatedCodex(seed=args.seed)
+    evaluator = PromptEvaluator(engine=engine)
+    result = evaluator.evaluate_cell(cell)
+    print(prompt.describe())
+    print(f"competence={result.competence:.2f}  score={result.score} ({result.level.label})")
+    for idx, (suggestion, verdict) in enumerate(zip(result.suggestions, result.verdicts), start=1):
+        print(f"--- suggestion {idx}: {verdict.summary()}")
+        print(suggestion.rstrip())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "ablation": _cmd_ablation,
+        "compare": _cmd_compare,
+        "prompt": _cmd_prompt,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Experiment entry points: one per paper table/figure plus the ablations.
+
+Every function returns an :class:`ExperimentReport` bundling the raw data,
+the shape comparison against the paper and a ready-to-print text rendering.
+The benchmark files in ``benchmarks/`` call these functions one-to-one (see
+DESIGN.md §4 for the experiment index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.codex.config import DEFAULT_SEED, CodexConfig
+from repro.codex.prompt import Prompt
+from repro.core.aggregate import postfix_effect
+from repro.core.compare import ShapeComparison, compare_to_paper
+from repro.core.evaluator import PromptEvaluator
+from repro.core.proficiency import classify_verdicts
+from repro.core.runner import EvaluationRunner, ResultSet
+from repro.harness.figures import (
+    FIGURE_LANGUAGES,
+    figure_data,
+    overall_figure_data,
+    render_figure,
+    render_overall_figure,
+)
+from repro.harness.tables import render_language_table
+from repro.models.grid import cells_for_language, experiment_grid
+from repro.models.languages import get_language, language_names
+from repro.popularity.maturity import MaturityModel
+
+__all__ = [
+    "ExperimentReport",
+    "TABLE_LANGUAGES",
+    "run_language_results",
+    "run_table",
+    "run_figure",
+    "run_overall_figure",
+    "run_keyword_ablation",
+    "run_maturity_ablation",
+    "run_suggestion_count_ablation",
+]
+
+#: Paper table number → language (Table 2 = C++, ... Table 5 = Julia).
+TABLE_LANGUAGES: dict[int, str] = {2: "cpp", 3: "fortran", 4: "python", 5: "julia"}
+
+
+@dataclass
+class ExperimentReport:
+    """The outcome of one reproduced experiment."""
+
+    #: Experiment identifier ("table2", "figure6", "ablation-keywords", ...).
+    experiment_id: str
+    #: Human-readable description.
+    description: str
+    #: Structured data (series / per-cell values) for programmatic use.
+    data: dict[str, Any] = field(default_factory=dict)
+    #: Shape comparison against the published values, when applicable.
+    comparison: ShapeComparison | None = None
+    #: Ready-to-print text rendering.
+    text: str = ""
+
+    def summary_line(self) -> str:
+        """One line suitable for a benchmark log."""
+        if self.comparison is None:
+            return f"{self.experiment_id}: done"
+        c = self.comparison
+        return (
+            f"{self.experiment_id}: rho={c.cell_rank_correlation:.2f} "
+            f"within-one-level={c.within_one_level:.0%} "
+            f"top-model-agrees={c.top_model_agrees}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared runners (cached per seed/config so figure N reuses table N's run)
+# ---------------------------------------------------------------------------
+
+_RESULT_CACHE: dict[tuple[int, str], ResultSet] = {}
+
+
+def run_language_results(
+    language: str, *, seed: int = DEFAULT_SEED, config: CodexConfig | None = None
+) -> ResultSet:
+    """Evaluate all cells of one language's table.
+
+    Runs with the default configuration are cached per (seed, language) so
+    that reproducing figure N after table N does not redo the evaluation.
+    """
+    if config is None:
+        cache_key = (seed, language)
+        if cache_key not in _RESULT_CACHE:
+            runner = EvaluationRunner(config=CodexConfig(), seed=seed)
+            _RESULT_CACHE[cache_key] = runner.run_language(language)
+        return _RESULT_CACHE[cache_key]
+    runner = EvaluationRunner(config=config, seed=seed)
+    return runner.run_language(language)
+
+
+def run_full_results(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ResultSet:
+    """Evaluate the full grid (all four languages)."""
+    combined = ResultSet(seed=seed)
+    for language in language_names():
+        for result in run_language_results(language, seed=seed, config=config):
+            combined.add(result)
+    return combined
+
+
+# ---------------------------------------------------------------------------
+# Tables 2-5
+# ---------------------------------------------------------------------------
+
+def run_table(number: int, *, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+    """Reproduce Table ``number`` (2 = C++, 3 = Fortran, 4 = Python, 5 = Julia)."""
+    if number not in TABLE_LANGUAGES:
+        raise KeyError(f"the paper has no result table {number}; choose from {sorted(TABLE_LANGUAGES)}")
+    language = TABLE_LANGUAGES[number]
+    results = run_language_results(language, seed=seed, config=config)
+    comparison = compare_to_paper(results, language)
+    lang_display = get_language(language).display_name
+    text = render_language_table(results, language)
+    data = {
+        "language": language,
+        "records": results.to_records(),
+        "cells": comparison.cells,
+    }
+    return ExperimentReport(
+        experiment_id=f"table{number}",
+        description=f"Table {number}: proficiency scores for {lang_display}",
+        data=data,
+        comparison=comparison,
+        text=text,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-6
+# ---------------------------------------------------------------------------
+
+def run_figure(number: int, *, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+    """Reproduce Figure ``number`` (2 = C++, ..., 5 = Julia, 6 = overall)."""
+    if number == 6:
+        return run_overall_figure(seed=seed, config=config)
+    if number not in FIGURE_LANGUAGES:
+        raise KeyError(f"the paper has no figure {number}; choose from {sorted(FIGURE_LANGUAGES)} or 6")
+    language = FIGURE_LANGUAGES[number]
+    results = run_language_results(language, seed=seed, config=config)
+    comparison = compare_to_paper(results, language)
+    lang_display = get_language(language).display_name
+    return ExperimentReport(
+        experiment_id=f"figure{number}",
+        description=f"Figure {number}: per-kernel and per-model averages for {lang_display}",
+        data=figure_data(results, language),
+        comparison=comparison,
+        text=render_figure(results, language),
+    )
+
+
+def run_overall_figure(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+    """Reproduce Figure 6: overall per-kernel and per-language averages."""
+    results = run_full_results(seed=seed, config=config)
+    data = overall_figure_data(results)
+    return ExperimentReport(
+        experiment_id="figure6",
+        description="Figure 6: overall averages per kernel and per language",
+        data=data,
+        comparison=None,
+        text=render_overall_figure(results),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md §4: A-KW, A-MAT, A-SUG)
+# ---------------------------------------------------------------------------
+
+def run_keyword_ablation(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+    """A-KW: effect of the post-fix keyword per language."""
+    results = run_full_results(seed=seed, config=config)
+    effects = {}
+    for language in language_names():
+        effects[language] = postfix_effect(results, language)
+    lines = ["Keyword post-fix effect (mean score without -> with keyword)"]
+    for language, effect in effects.items():
+        lines.append(
+            f"  {get_language(language).display_name:8s} "
+            f"{effect['without_keyword']:.2f} -> {effect['with_keyword']:.2f} "
+            f"(delta {effect['delta']:+.2f})"
+        )
+    return ExperimentReport(
+        experiment_id="ablation-keywords",
+        description="Effect of adding the language code keyword to the prompt",
+        data={"effects": effects},
+        text="\n".join(lines),
+    )
+
+
+def run_maturity_ablation(
+    *, seed: int = DEFAULT_SEED, scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25)
+) -> ExperimentReport:
+    """A-MAT: how the model-maturity prior weight shifts the score ordering.
+
+    The ablation scales the weight of the model-maturity term in the
+    availability prior and checks that the qualitative ordering (OpenMP/CUDA
+    ahead of HIP/Thrust in C++) is stable.
+    """
+    orderings: dict[float, list[str]] = {}
+    stability: dict[float, bool] = {}
+    for scale in scales:
+        maturity = MaturityModel(model_weight=0.62 * scale)
+        config = CodexConfig(maturity=maturity)
+        runner = EvaluationRunner(config=config, seed=seed)
+        results = runner.run_language("cpp")
+        from repro.core.aggregate import model_averages
+
+        averages = model_averages(results, "cpp")
+        ranked = sorted(averages, key=averages.get, reverse=True)
+        orderings[scale] = ranked
+        top3 = set(ranked[:3])
+        stability[scale] = "cpp.openmp" in top3
+    lines = ["Maturity-prior ablation (C++ model ranking per scale)"]
+    for scale, ranked in orderings.items():
+        names = ", ".join(uid.split(".")[1] for uid in ranked[:4])
+        lines.append(f"  scale {scale:>4}: top models = {names} (OpenMP in top 3: {stability[scale]})")
+    return ExperimentReport(
+        experiment_id="ablation-maturity",
+        description="Sensitivity of the C++ model ranking to the maturity prior weight",
+        data={"orderings": orderings, "openmp_in_top3": stability},
+        text="\n".join(lines),
+    )
+
+
+def run_suggestion_count_ablation(
+    *, seed: int = DEFAULT_SEED, counts: tuple[int, ...] = (1, 3, 5, 10, 20)
+) -> ExperimentReport:
+    """A-SUG: rubric behaviour as the suggestion budget changes.
+
+    The paper evaluates the first ten suggestions; this ablation truncates or
+    extends the budget and reports the mean score over the C++ grid, showing
+    how the metric saturates (more suggestions can only move a cell between
+    proficient and lower levels, never above).
+    """
+    means: dict[int, float] = {}
+    for count in counts:
+        config = CodexConfig(max_suggestions=count)
+        runner = EvaluationRunner(config=config, seed=seed)
+        evaluator: PromptEvaluator = runner.evaluator
+        cells = cells_for_language("cpp")
+        scores = []
+        for cell in cells:
+            prompt = Prompt.from_cell(cell)
+            completion = evaluator.engine.complete(prompt)
+            truncated = completion.suggestions[:count]
+            verdicts = [
+                evaluator.analyzer.analyze(
+                    code,
+                    language=prompt.language.name,
+                    kernel=prompt.kernel,
+                    requested_model=prompt.model_uid,
+                )
+                for code in truncated
+            ]
+            scores.append(float(classify_verdicts(verdicts).value))
+        means[count] = sum(scores) / len(scores)
+    lines = ["Suggestion-budget ablation (mean C++ score per suggestion count)"]
+    for count, mean in means.items():
+        lines.append(f"  first {count:>2} suggestions: mean score {mean:.3f}")
+    return ExperimentReport(
+        experiment_id="ablation-suggestions",
+        description="Sensitivity of the proficiency metric to the suggestion budget",
+        data={"means": means},
+        text="\n".join(lines),
+    )
+
+
+def run_everything(*, seed: int = DEFAULT_SEED) -> dict[str, ExperimentReport]:
+    """Run every table, figure and ablation (used by the CLI)."""
+    reports: dict[str, ExperimentReport] = {}
+    for number in sorted(TABLE_LANGUAGES):
+        report = run_table(number, seed=seed)
+        reports[report.experiment_id] = report
+    for number in (2, 3, 4, 5, 6):
+        report = run_figure(number, seed=seed)
+        reports[report.experiment_id] = report
+    for report in (
+        run_keyword_ablation(seed=seed),
+        run_maturity_ablation(seed=seed),
+        run_suggestion_count_ablation(seed=seed),
+    ):
+        reports[report.experiment_id] = report
+    return reports
+
+
+def full_grid_size() -> int:
+    """Number of cells in the complete experiment grid (sanity helper)."""
+    return len(experiment_grid())

@@ -1,0 +1,57 @@
+"""Persistence of evaluation results (CSV and JSON)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.runner import ResultSet
+
+__all__ = ["save_records_csv", "save_records_json", "load_records_json", "result_records"]
+
+_FIELDS = [
+    "language",
+    "model",
+    "kernel",
+    "postfix",
+    "use_postfix",
+    "score",
+    "level",
+    "n_suggestions",
+    "n_correct",
+    "competence",
+]
+
+
+def result_records(results: ResultSet) -> list[dict]:
+    """Flat per-cell records for persistence."""
+    return results.to_records()
+
+
+def save_records_csv(results: ResultSet | Iterable[dict], path: str | Path) -> Path:
+    """Write per-cell records to a CSV file and return the path."""
+    records = results.to_records() if isinstance(results, ResultSet) else list(results)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: record.get(key, "") for key in _FIELDS})
+    return path
+
+
+def save_records_json(results: ResultSet | Iterable[dict], path: str | Path) -> Path:
+    """Write per-cell records to a JSON file and return the path."""
+    records = results.to_records() if isinstance(results, ResultSet) else list(results)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True))
+    return path
+
+
+def load_records_json(path: str | Path) -> list[dict]:
+    """Load per-cell records previously written by :func:`save_records_json`."""
+    return json.loads(Path(path).read_text())

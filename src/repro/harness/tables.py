@@ -1,0 +1,55 @@
+"""Rendering of the paper's result tables (Tables 2-5)."""
+
+from __future__ import annotations
+
+from repro.core.paper_reference import paper_score
+from repro.core.report import format_score, format_table
+from repro.core.runner import ResultSet
+from repro.kernels.registry import KERNEL_NAMES, get_kernel
+from repro.models.keywords import has_postfix_variant, postfix_keyword
+from repro.models.languages import get_language
+from repro.models.programming_models import models_for_language
+
+__all__ = ["render_language_table", "table_rows"]
+
+
+def table_rows(
+    results: ResultSet,
+    language: str,
+    *,
+    use_postfix: bool,
+    include_paper: bool = True,
+) -> list[list[str]]:
+    """Rows of one table half: one row per programming model."""
+    rows: list[list[str]] = []
+    for model in models_for_language(language):
+        row: list[str] = [model.display_name]
+        for kernel in KERNEL_NAMES:
+            score = results.score(model.uid, kernel, use_postfix=use_postfix)
+            cell = format_score(score)
+            if include_paper:
+                reference = paper_score(model.uid, kernel, use_postfix=use_postfix)
+                cell = f"{cell}/{format_score(reference)}"
+            row.append(cell)
+        rows.append(row)
+    return rows
+
+
+def render_language_table(
+    results: ResultSet, language: str, *, include_paper: bool = True
+) -> str:
+    """Render one language's full table (both prompt variants when available).
+
+    With ``include_paper`` each cell shows ``reproduced/published``.
+    """
+    lang = get_language(language)
+    headers = ["Prompt"] + [get_kernel(k).spec.display_name for k in KERNEL_NAMES]
+    blocks: list[str] = []
+    legend = " (cells: reproduced/published)" if include_paper else ""
+    variants: list[tuple[bool, str]] = [(False, f"Prefix <kernel>{legend}")]
+    if has_postfix_variant(lang.name):
+        variants.append((True, f"Post fix '{postfix_keyword(lang.name)}'{legend}"))
+    for use_postfix, title in variants:
+        rows = table_rows(results, lang.name, use_postfix=use_postfix, include_paper=include_paper)
+        blocks.append(format_table(headers, rows, title=f"{lang.display_name} — {title}"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,73 @@
+"""Numerical kernel substrate.
+
+This sub-package implements, from scratch and in vectorised numpy, the six
+kernels evaluated by the paper together with their problem generators and
+numerical oracles:
+
+* :class:`~repro.kernels.axpy.AxpyKernel` — ``y = a * x + y``
+* :class:`~repro.kernels.gemv.GemvKernel` — ``y = alpha * A @ x + beta * y``
+* :class:`~repro.kernels.gemm.GemmKernel` — ``C = alpha * A @ B + beta * C``
+* :class:`~repro.kernels.spmv.SpmvKernel` — CSR sparse matrix-vector product
+* :class:`~repro.kernels.jacobi.JacobiKernel` — 3D 7-point Jacobi stencil
+* :class:`~repro.kernels.cg.CgKernel` — conjugate gradients on an SPD system
+
+Each kernel exposes a :class:`~repro.kernels.base.KernelSpec` describing its
+name, complexity class and arithmetic intensity; the complexity ordering
+(AXPY < GEMV < GEMM < SpMV < Jacobi < CG) is the one the paper uses when it
+argues that "the more complex the kernel, the fewer quality results are
+obtained".
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import (
+    Kernel,
+    KernelComplexity,
+    KernelSpec,
+    Problem,
+    ValidationResult,
+)
+from repro.kernels.axpy import AxpyKernel, axpy
+from repro.kernels.gemv import GemvKernel, gemv
+from repro.kernels.gemm import GemmKernel, gemm
+from repro.kernels.spmv import SpmvKernel, spmv
+from repro.kernels.jacobi import JacobiKernel, jacobi3d_step, jacobi3d_solve
+from repro.kernels.cg import CgKernel, conjugate_gradient, CgResult
+from repro.kernels.sparse import CsrMatrix, CooMatrix
+from repro.kernels.registry import (
+    KERNEL_NAMES,
+    all_kernels,
+    get_kernel,
+    kernel_complexity_order,
+)
+from repro.kernels.validation import allclose, relative_error
+
+__all__ = [
+    "Kernel",
+    "KernelComplexity",
+    "KernelSpec",
+    "Problem",
+    "ValidationResult",
+    "AxpyKernel",
+    "GemvKernel",
+    "GemmKernel",
+    "SpmvKernel",
+    "JacobiKernel",
+    "CgKernel",
+    "CgResult",
+    "CsrMatrix",
+    "CooMatrix",
+    "axpy",
+    "gemv",
+    "gemm",
+    "spmv",
+    "jacobi3d_step",
+    "jacobi3d_solve",
+    "conjugate_gradient",
+    "KERNEL_NAMES",
+    "all_kernels",
+    "get_kernel",
+    "kernel_complexity_order",
+    "allclose",
+    "relative_error",
+]

@@ -1,0 +1,66 @@
+"""AXPY kernel: ``y <- a * x + y`` (BLAS-1).
+
+The simplest kernel in the paper's suite — a single loop with unit stride,
+which is why it consistently receives the best proficiency scores across all
+languages and programming models in the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.kernels.base import Kernel, KernelComplexity, KernelSpec, Problem, default_rng
+
+__all__ = ["axpy", "AxpyKernel"]
+
+
+def axpy(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Return ``a * x + y`` without mutating the inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"x and y must have the same shape, got {x.shape} and {y.shape}")
+    return a * x + y
+
+
+def axpy_inplace(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """In-place AXPY: ``y += a * x`` (returns ``y`` for convenience)."""
+    if x.shape != y.shape:
+        raise ValueError(f"x and y must have the same shape, got {x.shape} and {y.shape}")
+    y += a * x
+    return y
+
+
+class AxpyKernel(Kernel):
+    """Problem generator and oracle for AXPY."""
+
+    spec = KernelSpec(
+        name="axpy",
+        display_name="AXPY",
+        complexity=KernelComplexity.TRIVIAL,
+        statement="y = a * x + y",
+        num_subkernels=1,
+        flops_per_element=2.0,
+        synonyms=("daxpy", "saxpy", "vector update", "scaled vector addition"),
+    )
+
+    def generate_problem(self, size: int, *, rng: np.random.Generator | None = None) -> Problem:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        rng = default_rng(rng, seed=size)
+        a = float(rng.uniform(0.5, 2.0))
+        x = rng.standard_normal(size)
+        y = rng.standard_normal(size)
+        problem = Problem(
+            kernel=self.spec.name,
+            size=size,
+            inputs={"a": a, "x": x, "y": y},
+            metadata={"flops": 2.0 * size},
+        )
+        problem.expected = self.reference(problem.inputs)
+        return problem
+
+    def reference(self, inputs: Mapping[str, Any]) -> np.ndarray:
+        return axpy(inputs["a"], inputs["x"], inputs["y"])

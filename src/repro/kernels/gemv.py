@@ -1,0 +1,80 @@
+"""GEMV kernel: ``y <- alpha * A @ x + beta * y`` (BLAS-2).
+
+Two nested loops, dense row-major access.  The paper classifies GEMV as the
+second simplest kernel after AXPY.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.kernels.base import Kernel, KernelComplexity, KernelSpec, Problem, default_rng
+
+__all__ = ["gemv", "GemvKernel"]
+
+
+def gemv(
+    alpha: float,
+    a: np.ndarray,
+    x: np.ndarray,
+    beta: float = 0.0,
+    y: np.ndarray | None = None,
+) -> np.ndarray:
+    """General matrix-vector product ``alpha * A @ x + beta * y``.
+
+    ``y`` may be omitted when ``beta`` is zero.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("A must be 2-D")
+    if x.shape != (a.shape[1],):
+        raise ValueError(f"x must have shape ({a.shape[1]},), got {x.shape}")
+    result = alpha * (a @ x)
+    if beta != 0.0:
+        if y is None:
+            raise ValueError("y must be provided when beta != 0")
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (a.shape[0],):
+            raise ValueError(f"y must have shape ({a.shape[0]},), got {y.shape}")
+        result = result + beta * y
+    return result
+
+
+class GemvKernel(Kernel):
+    """Problem generator and oracle for GEMV."""
+
+    spec = KernelSpec(
+        name="gemv",
+        display_name="GEMV",
+        complexity=KernelComplexity.SIMPLE,
+        statement="y = alpha * A @ x + beta * y",
+        num_subkernels=1,
+        flops_per_element=2.0,
+        synonyms=("dgemv", "matrix vector multiply", "matvec", "matrix-vector multiplication"),
+    )
+
+    def generate_problem(self, size: int, *, rng: np.random.Generator | None = None) -> Problem:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        rng = default_rng(rng, seed=size)
+        n_rows = size
+        n_cols = max(1, size // 2 + size % 2) if size > 2 else size
+        a = rng.standard_normal((n_rows, n_cols))
+        x = rng.standard_normal(n_cols)
+        y = rng.standard_normal(n_rows)
+        alpha = float(rng.uniform(0.5, 2.0))
+        beta = float(rng.uniform(0.0, 1.0))
+        problem = Problem(
+            kernel=self.spec.name,
+            size=size,
+            inputs={"alpha": alpha, "A": a, "x": x, "beta": beta, "y": y},
+            metadata={"flops": 2.0 * n_rows * n_cols},
+        )
+        problem.expected = self.reference(problem.inputs)
+        return problem
+
+    def reference(self, inputs: Mapping[str, Any]) -> np.ndarray:
+        return gemv(inputs["alpha"], inputs["A"], inputs["x"], inputs["beta"], inputs["y"])

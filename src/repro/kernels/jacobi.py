@@ -1,0 +1,145 @@
+"""Jacobi kernel: 3-D 7-point Jacobi stencil sweep and iteration.
+
+The paper evaluates "3D Jacobi stencil computations".  A single sweep updates
+each interior point with the average of its six neighbours (optionally with a
+right-hand side term, which turns the sweep into one Jacobi iteration for the
+3-D Poisson equation).  The iterative driver repeats sweeps until the update
+norm drops below a tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.kernels.base import Kernel, KernelComplexity, KernelSpec, Problem, default_rng
+
+__all__ = ["jacobi3d_step", "jacobi3d_solve", "jacobi2d_step", "JacobiKernel"]
+
+
+def jacobi3d_step(u: np.ndarray, f: np.ndarray | None = None, h: float = 1.0) -> np.ndarray:
+    """One 7-point Jacobi sweep on a 3-D grid with fixed (Dirichlet) boundary.
+
+    Interior update::
+
+        u_new[i,j,k] = (u[i-1,j,k] + u[i+1,j,k] + u[i,j-1,k] + u[i,j+1,k]
+                        + u[i,j,k-1] + u[i,j,k+1] + h^2 * f[i,j,k]) / 6
+
+    Boundary values are copied unchanged.  When ``f`` is omitted a zero
+    right-hand side is assumed (pure smoothing sweep).
+    """
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 3:
+        raise ValueError("u must be a 3-D array")
+    if min(u.shape) < 3:
+        # Nothing interior to update.
+        return u.copy()
+    if f is None:
+        f = np.zeros_like(u)
+    else:
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape != u.shape:
+            raise ValueError("f must have the same shape as u")
+    out = u.copy()
+    out[1:-1, 1:-1, 1:-1] = (
+        u[:-2, 1:-1, 1:-1]
+        + u[2:, 1:-1, 1:-1]
+        + u[1:-1, :-2, 1:-1]
+        + u[1:-1, 2:, 1:-1]
+        + u[1:-1, 1:-1, :-2]
+        + u[1:-1, 1:-1, 2:]
+        + h * h * f[1:-1, 1:-1, 1:-1]
+    ) / 6.0
+    return out
+
+
+def jacobi2d_step(u: np.ndarray, f: np.ndarray | None = None, h: float = 1.0) -> np.ndarray:
+    """One 5-point Jacobi sweep on a 2-D grid (used by tests and examples)."""
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 2:
+        raise ValueError("u must be a 2-D array")
+    if min(u.shape) < 3:
+        return u.copy()
+    if f is None:
+        f = np.zeros_like(u)
+    else:
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape != u.shape:
+            raise ValueError("f must have the same shape as u")
+    out = u.copy()
+    out[1:-1, 1:-1] = (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:] + h * h * f[1:-1, 1:-1]
+    ) / 4.0
+    return out
+
+
+def jacobi3d_solve(
+    u0: np.ndarray,
+    f: np.ndarray | None = None,
+    *,
+    h: float = 1.0,
+    max_iterations: int = 100,
+    tol: float = 0.0,
+) -> tuple[np.ndarray, int, float]:
+    """Run Jacobi sweeps until convergence or ``max_iterations``.
+
+    Returns ``(u, iterations, last_update_norm)`` where the update norm is
+    the max-norm of the difference between consecutive iterates.
+    """
+    u = np.asarray(u0, dtype=np.float64).copy()
+    last_norm = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        u_new = jacobi3d_step(u, f, h)
+        last_norm = float(np.max(np.abs(u_new - u))) if u.size else 0.0
+        u = u_new
+        if tol > 0.0 and last_norm <= tol:
+            break
+    return u, iterations, last_norm
+
+
+class JacobiKernel(Kernel):
+    """Problem generator and oracle for the 3-D Jacobi sweep.
+
+    The evaluated quantity is a fixed number of sweeps (default 1) starting
+    from a random field with Dirichlet boundaries, which is what a generated
+    "Jacobi stencil" kernel is expected to compute.
+    """
+
+    spec = KernelSpec(
+        name="jacobi",
+        display_name="Jacobi",
+        complexity=KernelComplexity.STENCIL,
+        statement="u_new[i,j,k] = mean of 6 neighbours (+ h^2 f) on a 3-D grid",
+        num_subkernels=2,
+        flops_per_element=7.0,
+        synonyms=("jacobi stencil", "3d jacobi", "jacobi iteration", "stencil"),
+    )
+
+    #: Number of sweeps a candidate implementation is asked to perform.
+    sweeps: int = 1
+
+    def generate_problem(self, size: int, *, rng: np.random.Generator | None = None) -> Problem:
+        if size < 3:
+            raise ValueError("size must be >= 3 for a 3-D stencil")
+        rng = default_rng(rng, seed=size)
+        u = rng.standard_normal((size, size, size))
+        f = rng.standard_normal((size, size, size))
+        problem = Problem(
+            kernel=self.spec.name,
+            size=size,
+            inputs={"u": u, "f": f, "h": 1.0, "sweeps": self.sweeps},
+            metadata={"flops": 7.0 * (size - 2) ** 3 * self.sweeps},
+        )
+        problem.expected = self.reference(problem.inputs)
+        return problem
+
+    def reference(self, inputs: Mapping[str, Any]) -> np.ndarray:
+        u = np.asarray(inputs["u"], dtype=np.float64)
+        f = inputs.get("f")
+        h = float(inputs.get("h", 1.0))
+        sweeps = int(inputs.get("sweeps", 1))
+        for _ in range(sweeps):
+            u = jacobi3d_step(u, f, h)
+        return u

@@ -1,0 +1,83 @@
+"""Workload / problem-suite generators used by examples and benchmarks.
+
+A :class:`ProblemSuite` bundles deterministic problem instances for each
+kernel at a set of characteristic sizes, so benchmarks and the sandbox
+evaluation draw the same data for the reference implementation and for every
+candidate suggestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.kernels.base import Problem
+from repro.kernels.registry import KERNEL_NAMES, get_kernel
+
+__all__ = ["ProblemSuite", "default_sizes", "make_problem"]
+
+#: Default per-kernel problem sizes used by the evaluation harness.  The
+#: sizes are intentionally small: correctness checking, not throughput, is
+#: what the paper's metric measures.
+_DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
+    "axpy": (16, 256, 4096),
+    "gemv": (8, 32, 128),
+    "gemm": (4, 16, 64),
+    "spmv": (16, 64, 256),
+    "jacobi": (4, 8, 12),
+    "cg": (9, 25, 64),
+}
+
+
+def default_sizes(kernel_name: str) -> tuple[int, ...]:
+    """Return the default size sweep for a kernel."""
+    key = kernel_name.strip().lower()
+    if key not in _DEFAULT_SIZES:
+        raise KeyError(f"unknown kernel {kernel_name!r}")
+    return _DEFAULT_SIZES[key]
+
+
+def make_problem(kernel_name: str, size: int, *, seed: int = 20230414) -> Problem:
+    """Create one deterministic problem instance for ``kernel_name``."""
+    kernel = get_kernel(kernel_name)
+    rng = np.random.default_rng([seed, hash(kernel_name) & 0xFFFF, size])
+    return kernel.make_problem_with_expected(size, rng=rng)
+
+
+@dataclass
+class ProblemSuite:
+    """A reproducible collection of problems per kernel.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; every (kernel, size) pair derives an independent stream.
+    sizes:
+        Optional override of the per-kernel size sweeps.
+    """
+
+    seed: int = 20230414
+    sizes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def sizes_for(self, kernel_name: str) -> tuple[int, ...]:
+        return tuple(self.sizes.get(kernel_name, default_sizes(kernel_name)))
+
+    def problems_for(self, kernel_name: str) -> list[Problem]:
+        """All problem instances for one kernel."""
+        return [
+            make_problem(kernel_name, size, seed=self.seed)
+            for size in self.sizes_for(kernel_name)
+        ]
+
+    def smallest_problem(self, kernel_name: str) -> Problem:
+        """The smallest (fastest to validate) problem for one kernel."""
+        size = min(self.sizes_for(kernel_name))
+        return make_problem(kernel_name, size, seed=self.seed)
+
+    def iter_all(self) -> Iterator[tuple[str, Problem]]:
+        """Iterate ``(kernel_name, problem)`` over every kernel and size."""
+        for name in KERNEL_NAMES:
+            for problem in self.problems_for(name):
+                yield name, problem

@@ -1,0 +1,69 @@
+"""Registry of the six evaluated kernels.
+
+The registry fixes the canonical kernel order used by every table and figure
+in the paper: AXPY, GEMV, GEMM, SpMV, Jacobi, CG (increasing complexity).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.kernels.axpy import AxpyKernel
+from repro.kernels.base import Kernel
+from repro.kernels.cg import CgKernel
+from repro.kernels.gemm import GemmKernel
+from repro.kernels.gemv import GemvKernel
+from repro.kernels.jacobi import JacobiKernel
+from repro.kernels.spmv import SpmvKernel
+
+__all__ = ["KERNEL_NAMES", "all_kernels", "get_kernel", "kernel_complexity_order", "find_kernel"]
+
+_KERNEL_CLASSES = (
+    AxpyKernel,
+    GemvKernel,
+    GemmKernel,
+    SpmvKernel,
+    JacobiKernel,
+    CgKernel,
+)
+
+_REGISTRY: "OrderedDict[str, Kernel]" = OrderedDict(
+    (cls.spec.name, cls()) for cls in _KERNEL_CLASSES
+)
+
+#: Canonical kernel order (matches the columns of the paper's tables).
+KERNEL_NAMES: tuple[str, ...] = tuple(_REGISTRY.keys())
+
+
+def all_kernels() -> tuple[Kernel, ...]:
+    """Return all kernel singletons in canonical (complexity) order."""
+    return tuple(_REGISTRY.values())
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by canonical name (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known kernels: {', '.join(KERNEL_NAMES)}"
+        ) from None
+
+
+def find_kernel(token: str) -> Kernel | None:
+    """Find a kernel by name or synonym; return None when nothing matches."""
+    token = token.strip().lower()
+    if token in _REGISTRY:
+        return _REGISTRY[token]
+    for kernel in _REGISTRY.values():
+        if kernel.spec.matches_token(token):
+            return kernel
+    return None
+
+
+def kernel_complexity_order() -> tuple[str, ...]:
+    """Kernel names sorted by increasing complexity class."""
+    return tuple(
+        k.spec.name for k in sorted(_REGISTRY.values(), key=lambda k: int(k.spec.complexity))
+    )

@@ -1,0 +1,320 @@
+"""Sparse matrix substrate built from scratch (no scipy dependency).
+
+The SpMV and CG kernels operate on sparse matrices.  To keep the substrate
+self-contained we implement Compressed Sparse Row (CSR) and Coordinate (COO)
+formats with the operations the kernels need:
+
+* construction from dense arrays, from triplets, and from structured-grid
+  Laplacian stencils (the realistic SpMV/CG workload the paper's kernels
+  target),
+* vectorised sparse matrix-vector products,
+* conversion back to dense for validation,
+* basic algebra helpers (diagonal extraction, symmetry check).
+
+The matvec uses ``np.add.reduceat`` over the CSR row pointer, which is the
+standard trick for a fully vectorised CSR SpMV in numpy (no Python-level loop
+over rows) — following the HPC-Python guidance of avoiding interpreted inner
+loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CooMatrix", "CsrMatrix", "poisson_1d", "poisson_2d", "poisson_3d"]
+
+
+@dataclass
+class CooMatrix:
+    """Coordinate (triplet) format sparse matrix."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise ValueError("rows, cols and data must have the same length")
+        n_rows, n_cols = self.shape
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= n_rows:
+                raise ValueError("row index out of bounds")
+            if self.cols.min() < 0 or self.cols.max() >= n_cols:
+                raise ValueError("column index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def to_csr(self) -> "CsrMatrix":
+        """Convert to CSR, summing duplicate entries."""
+        n_rows, n_cols = self.shape
+        if self.nnz == 0:
+            return CsrMatrix(
+                indptr=np.zeros(n_rows + 1, dtype=np.int64),
+                indices=np.zeros(0, dtype=np.int64),
+                data=np.zeros(0, dtype=np.float64),
+                shape=self.shape,
+            )
+        # Sort by (row, col) so duplicates are adjacent and columns are ordered.
+        order = np.lexsort((self.cols, self.rows))
+        rows = self.rows[order]
+        cols = self.cols[order]
+        data = self.data[order]
+        # Collapse duplicates.
+        key_change = np.empty(rows.size, dtype=bool)
+        key_change[0] = True
+        key_change[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        group_ids = np.cumsum(key_change) - 1
+        unique_rows = rows[key_change]
+        unique_cols = cols[key_change]
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group_ids, data)
+        counts = np.bincount(unique_rows, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CsrMatrix(indptr=indptr, indices=unique_cols, data=summed, shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.data)
+        return dense
+
+
+@dataclass
+class CsrMatrix:
+    """Compressed Sparse Row matrix with vectorised matvec."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        n_rows, n_cols = self.shape
+        if self.indptr.shape != (n_rows + 1,):
+            raise ValueError(f"indptr must have length n_rows+1 = {n_rows + 1}")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise ValueError("indices and data must have the same length")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column index out of bounds")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "CsrMatrix":
+        """Build a CSR matrix from a dense 2-D array, dropping |a_ij| <= tol."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        mask = np.abs(dense) > tol
+        rows, cols = np.nonzero(mask)
+        data = dense[rows, cols]
+        counts = np.bincount(rows, minlength=dense.shape[0])
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=cols.astype(np.int64), data=data, shape=dense.shape)
+
+    @classmethod
+    def from_triplets(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CsrMatrix":
+        return CooMatrix(rows=rows, cols=cols, data=data, shape=shape).to_csr()
+
+    @classmethod
+    def identity(cls, n: int) -> "CsrMatrix":
+        return cls(
+            indptr=np.arange(n + 1, dtype=np.int64),
+            indices=np.arange(n, dtype=np.int64),
+            data=np.ones(n, dtype=np.float64),
+            shape=(n, n),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        density: float,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> "CsrMatrix":
+        """Random sparse matrix with approximately ``density`` fill."""
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        nnz = max(1, int(round(density * n_rows * n_cols)))
+        flat = rng.choice(n_rows * n_cols, size=min(nnz, n_rows * n_cols), replace=False)
+        rows, cols = np.divmod(flat, n_cols)
+        data = rng.standard_normal(rows.size)
+        return cls.from_triplets(rows, cols, data, (n_rows, n_cols))
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of stored entries in each row."""
+        return np.diff(self.indptr)
+
+    # -- operations ---------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``y = A @ x`` (fully vectorised)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        if self.nnz == 0:
+            return np.zeros(self.n_rows, dtype=np.float64)
+        products = self.data * x[self.indices]
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        # reduceat needs strictly valid segment starts; empty rows are handled
+        # by masking them out and writing only the non-empty results.
+        row_counts = np.diff(self.indptr)
+        nonempty = row_counts > 0
+        if np.all(nonempty):
+            y = np.add.reduceat(products, self.indptr[:-1])
+        else:
+            starts = self.indptr[:-1][nonempty]
+            y[nonempty] = np.add.reduceat(products, starts)
+        return y
+
+    def matvec_loop(self, x: np.ndarray) -> np.ndarray:
+        """Row-by-row reference matvec (used in tests as an independent oracle)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        for i in range(self.n_rows):
+            start, end = self.indptr[i], self.indptr[i + 1]
+            y[i] = np.dot(self.data[start:end], x[self.indices[start:end]])
+        return y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            start, end = self.indptr[i], self.indptr[i + 1]
+            cols = self.indices[start:end]
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                diag[i] = self.data[start:end][hit].sum()
+        return diag
+
+    def transpose(self) -> "CsrMatrix":
+        """Return the transpose as a new CSR matrix."""
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr))
+        return CsrMatrix.from_triplets(self.indices, rows, self.data, (self.n_cols, self.n_rows))
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr))
+        dense[rows, self.indices] = self.data
+        return dense
+
+    def is_symmetric(self, *, tol: float = 1e-12) -> bool:
+        """Cheap symmetry check via dense comparison (intended for small matrices)."""
+        if self.n_rows != self.n_cols:
+            return False
+        dense = self.to_dense()
+        return bool(np.allclose(dense, dense.T, atol=tol))
+
+    def scale_rows(self, scale: np.ndarray) -> "CsrMatrix":
+        """Return ``diag(scale) @ A`` as a new CSR matrix."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.n_rows,):
+            raise ValueError("scale must have one entry per row")
+        row_of = np.repeat(np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr))
+        return CsrMatrix(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            data=self.data * scale[row_of],
+            shape=self.shape,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Structured-grid Laplacian generators: the canonical SpMV / CG workloads.
+# ---------------------------------------------------------------------------
+
+def poisson_1d(n: int) -> CsrMatrix:
+    """Tridiagonal 1-D Poisson operator (2 on the diagonal, -1 off-diagonal)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    main = np.full(n, 2.0)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    data = [main]
+    if n > 1:
+        off = np.full(n - 1, -1.0)
+        rows += [np.arange(n - 1), np.arange(1, n)]
+        cols += [np.arange(1, n), np.arange(n - 1)]
+        data += [off, off]
+    return CsrMatrix.from_triplets(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(data), (n, n)
+    )
+
+
+def _kron_sum_identity(a_dense: np.ndarray, n_repeat: int) -> np.ndarray:
+    """Helper for building Kronecker-sum Laplacians densely (small grids only)."""
+    eye = np.eye(n_repeat)
+    return np.kron(a_dense, eye)
+
+
+def poisson_2d(nx: int, ny: int | None = None) -> CsrMatrix:
+    """5-point 2-D Poisson operator on an ``nx`` x ``ny`` grid (SPD)."""
+    ny = nx if ny is None else ny
+    ax = poisson_1d(nx).to_dense()
+    ay = poisson_1d(ny).to_dense()
+    dense = np.kron(ax, np.eye(ny)) + np.kron(np.eye(nx), ay)
+    return CsrMatrix.from_dense(dense)
+
+
+def poisson_3d(nx: int, ny: int | None = None, nz: int | None = None) -> CsrMatrix:
+    """7-point 3-D Poisson operator on an ``nx`` x ``ny`` x ``nz`` grid (SPD).
+
+    This is the operator form of the paper's Jacobi 3D stencil and the
+    canonical SPD system for the CG kernel.  Built densely via Kronecker sums
+    and converted to CSR, so it is intended for moderate grid sizes (the
+    evaluation uses grids up to ~20^3).
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    ax = poisson_1d(nx).to_dense()
+    ay = poisson_1d(ny).to_dense()
+    az = poisson_1d(nz).to_dense()
+    eye_y = np.eye(ny)
+    eye_z = np.eye(nz)
+    eye_x = np.eye(nx)
+    dense = (
+        np.kron(np.kron(ax, eye_y), eye_z)
+        + np.kron(np.kron(eye_x, ay), eye_z)
+        + np.kron(np.kron(eye_x, eye_y), az)
+    )
+    return CsrMatrix.from_dense(dense)

@@ -1,0 +1,125 @@
+"""Numerical validation helpers shared by every kernel.
+
+All comparisons are tolerance-aware and shape-aware: a candidate output is
+accepted only when it has the same shape as the oracle and is element-wise
+close under combined absolute/relative tolerances.  This is the numerical
+backbone of the "correct code" judgement the paper's rubric relies on for
+the executable (Python) suggestions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.base import ValidationResult
+
+__all__ = [
+    "allclose",
+    "relative_error",
+    "max_abs_error",
+    "compare_outputs",
+]
+
+
+def _as_array(value: Any) -> np.ndarray | None:
+    """Best effort conversion of ``value`` to a float ndarray.
+
+    Returns ``None`` when the value cannot be interpreted numerically
+    (e.g. it is a string, None, or a ragged container).
+    """
+    if value is None:
+        return None
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return None
+        return np.asarray(value, dtype=np.float64)
+    if isinstance(value, (int, float, complex, np.generic)):
+        return np.asarray(value, dtype=np.float64)
+    if isinstance(value, (list, tuple)):
+        try:
+            arr = np.asarray(value, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+        return arr
+    return None
+
+
+def max_abs_error(candidate: np.ndarray, expected: np.ndarray) -> float:
+    """Maximum absolute elementwise error between two same-shape arrays."""
+    diff = np.abs(np.asarray(candidate, dtype=np.float64) - np.asarray(expected, dtype=np.float64))
+    if diff.size == 0:
+        return 0.0
+    return float(np.max(diff))
+
+
+def relative_error(candidate: np.ndarray, expected: np.ndarray) -> float:
+    """L2 relative error ``||c - e|| / max(||e||, eps)``."""
+    c = np.asarray(candidate, dtype=np.float64).ravel()
+    e = np.asarray(expected, dtype=np.float64).ravel()
+    if c.shape != e.shape:
+        return float("inf")
+    denom = max(float(np.linalg.norm(e)), np.finfo(np.float64).eps)
+    return float(np.linalg.norm(c - e) / denom)
+
+
+def allclose(candidate: Any, expected: Any, *, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+    """Tolerance comparison that never raises on shape/dtype mismatches."""
+    return compare_outputs(candidate, expected, rtol=rtol, atol=atol).passed
+
+
+def compare_outputs(
+    candidate: Any,
+    expected: Any,
+    *,
+    rtol: float = 1e-10,
+    atol: float = 1e-12,
+) -> ValidationResult:
+    """Compare a candidate output against the oracle output.
+
+    The comparison is defensive: any shape mismatch, non-numeric output,
+    NaN/Inf contamination or tolerance violation yields ``passed=False`` with
+    a human-readable message, rather than raising.
+    """
+    exp = _as_array(expected)
+    cand = _as_array(candidate)
+    if exp is None:
+        raise ValueError("expected output is not numeric; oracle is malformed")
+    if cand is None:
+        return ValidationResult(
+            passed=False,
+            max_abs_error=float("inf"),
+            max_rel_error=float("inf"),
+            message=f"candidate output is not numeric (type {type(candidate).__name__})",
+        )
+    if cand.shape != exp.shape:
+        # Allow (n,) vs (n,1) style trivial mismatches only when squeezing fixes it.
+        if cand.squeeze().shape == exp.squeeze().shape:
+            cand = cand.squeeze()
+            exp = exp.squeeze()
+        else:
+            return ValidationResult(
+                passed=False,
+                max_abs_error=float("inf"),
+                max_rel_error=float("inf"),
+                message=f"shape mismatch: candidate {cand.shape} vs expected {exp.shape}",
+            )
+    if not np.all(np.isfinite(cand)):
+        return ValidationResult(
+            passed=False,
+            max_abs_error=float("inf"),
+            max_rel_error=float("inf"),
+            message="candidate output contains NaN or Inf",
+        )
+    abs_err = max_abs_error(cand, exp)
+    rel_err = relative_error(cand, exp)
+    tol = atol + rtol * float(np.max(np.abs(exp))) if exp.size else atol
+    passed = bool(np.allclose(cand, exp, rtol=rtol, atol=atol))
+    message = "ok" if passed else f"max abs error {abs_err:.3e} exceeds tolerance {tol:.3e}"
+    return ValidationResult(
+        passed=passed,
+        max_abs_error=abs_err,
+        max_rel_error=rel_err,
+        message=message,
+    )

@@ -1,0 +1,38 @@
+"""Languages, parallel programming models and the Table 1 experiment grid."""
+
+from __future__ import annotations
+
+from repro.models.languages import (
+    LANGUAGES,
+    Language,
+    get_language,
+    language_names,
+)
+from repro.models.programming_models import (
+    PROGRAMMING_MODELS,
+    ExecutionTarget,
+    ProgrammingModel,
+    get_model,
+    models_for_language,
+    model_names,
+)
+from repro.models.keywords import postfix_keyword, has_postfix_variant
+from repro.models.grid import ExperimentCell, experiment_grid, table1_rows
+
+__all__ = [
+    "Language",
+    "LANGUAGES",
+    "get_language",
+    "language_names",
+    "ProgrammingModel",
+    "ExecutionTarget",
+    "PROGRAMMING_MODELS",
+    "get_model",
+    "models_for_language",
+    "model_names",
+    "postfix_keyword",
+    "has_postfix_variant",
+    "ExperimentCell",
+    "experiment_grid",
+    "table1_rows",
+]

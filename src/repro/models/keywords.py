@@ -1,0 +1,30 @@
+"""Post-fix keyword handling.
+
+The paper's prompt pattern is ``<kernel> <programming model> (<postfix>)``
+where the optional post-fix is a language "code keyword": ``function`` for
+C++, ``subroutine`` for Fortran, ``def`` for Python, and nothing for Julia
+(the authors report that Julia prompts showed little keyword sensitivity and
+omit the variant).
+"""
+
+from __future__ import annotations
+
+from repro.models.languages import get_language
+
+__all__ = ["postfix_keyword", "has_postfix_variant", "CUDA_COMMUNITY_KEYWORDS"]
+
+#: Keywords the CUDA community actually uses instead of ``function``; the
+#: paper notes that prompting CUDA with "kernel" or "__global__" produced
+#: better results than "function".  These are exposed for the prompt
+#: engineering example and the keyword ablation bench.
+CUDA_COMMUNITY_KEYWORDS: tuple[str, ...] = ("kernel", "__global__")
+
+
+def postfix_keyword(language: str) -> str:
+    """The post-fix keyword used for ``language`` ('' when none is used)."""
+    return get_language(language).postfix_keyword
+
+
+def has_postfix_variant(language: str) -> bool:
+    """Whether the paper evaluates a with-keyword prompt variant for ``language``."""
+    return bool(get_language(language).postfix_keyword)

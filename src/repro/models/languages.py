@@ -1,0 +1,112 @@
+"""The four evaluated host languages.
+
+Each :class:`Language` carries exactly the attributes the Copilot workflow in
+the paper depends on: the file extension (Visual Studio Code infers the
+language from the open file and makes it part of the prompt prefix), the
+line-comment prefix used to phrase the prompt, and the optional "code
+keyword" post-fix the authors append to sharpen the prompt (``function``,
+``subroutine``, ``def``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Language", "LANGUAGES", "get_language", "language_names"]
+
+
+@dataclass(frozen=True)
+class Language:
+    """A host programming language in the evaluation."""
+
+    #: Canonical lowercase identifier (``"cpp"``, ``"fortran"``, ``"python"``, ``"julia"``).
+    name: str
+    #: Human-readable name as printed in the paper ("C++", "Fortran", ...).
+    display_name: str
+    #: File extension used to open the prompt file in the editor.
+    file_extension: str
+    #: Line comment prefix used to write the prompt.
+    comment_prefix: str
+    #: The post-fix keyword the paper appends for this language ("" if none).
+    postfix_keyword: str
+    #: Whether the paper found the language's prompts sensitive to the keyword.
+    keyword_sensitive: bool
+    #: Whether the language is a general-purpose mainstream language (C++,
+    #: Python) or a domain-targeted one (Fortran, Julia).  The paper uses this
+    #: distinction when discussing popularity vs. targeted quality.
+    general_purpose: bool
+
+    def prompt_filename(self, kernel: str) -> str:
+        """The file name the prompt would be typed into (e.g. ``axpy.cpp``)."""
+        return f"{kernel}.{self.file_extension}"
+
+    def comment(self, text: str) -> str:
+        """Render ``text`` as a line comment in this language."""
+        return f"{self.comment_prefix} {text}"
+
+
+LANGUAGES: dict[str, Language] = {
+    "cpp": Language(
+        name="cpp",
+        display_name="C++",
+        file_extension="cpp",
+        comment_prefix="//",
+        postfix_keyword="function",
+        keyword_sensitive=True,
+        general_purpose=True,
+    ),
+    "fortran": Language(
+        name="fortran",
+        display_name="Fortran",
+        file_extension="f90",
+        comment_prefix="!",
+        postfix_keyword="subroutine",
+        keyword_sensitive=True,
+        general_purpose=False,
+    ),
+    "python": Language(
+        name="python",
+        display_name="Python",
+        file_extension="py",
+        comment_prefix="#",
+        postfix_keyword="def",
+        keyword_sensitive=True,
+        general_purpose=True,
+    ),
+    "julia": Language(
+        name="julia",
+        display_name="Julia",
+        file_extension="jl",
+        comment_prefix="#",
+        postfix_keyword="",
+        keyword_sensitive=False,
+        general_purpose=False,
+    ),
+}
+
+_ALIASES = {
+    "c++": "cpp",
+    "cxx": "cpp",
+    "cc": "cpp",
+    "f90": "fortran",
+    "f": "fortran",
+    "py": "python",
+    "jl": "julia",
+}
+
+
+def get_language(name: str) -> Language:
+    """Look up a language by canonical name, alias or display name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key in LANGUAGES:
+        return LANGUAGES[key]
+    for lang in LANGUAGES.values():
+        if lang.display_name.lower() == key:
+            return lang
+    raise KeyError(f"unknown language {name!r}; known: {', '.join(LANGUAGES)}")
+
+
+def language_names() -> tuple[str, ...]:
+    """Canonical language order used by the paper (C++, Fortran, Python, Julia)."""
+    return tuple(LANGUAGES.keys())

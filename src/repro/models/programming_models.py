@@ -1,0 +1,331 @@
+"""Registry of the parallel programming models evaluated in the paper.
+
+The set matches Table 1 plus SyCL, which appears in the C++ results
+(Table 2).  Each model records the attributes that matter downstream:
+
+* which host language it belongs to,
+* the execution target (CPU threads, GPU offload, or both),
+* the *detection markers* — tokens whose presence in a code suggestion
+  identifies the suggestion as using this model (pragmas, API namespaces,
+  decorators, macros).  The static analyzers in :mod:`repro.analysis` use
+  these markers to decide whether a suggestion uses the requested model or a
+  different one, which is exactly the distinction the paper's rubric draws
+  between the *novice* (0.25) and *learner* (0.5) levels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.models.languages import get_language
+
+__all__ = [
+    "ExecutionTarget",
+    "ProgrammingModel",
+    "PROGRAMMING_MODELS",
+    "get_model",
+    "models_for_language",
+    "model_names",
+]
+
+
+class ExecutionTarget(enum.Enum):
+    """Hardware target of a programming model."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    BOTH = "both"
+
+
+@dataclass(frozen=True)
+class ProgrammingModel:
+    """A parallel programming model (or de-facto standard library)."""
+
+    #: Canonical identifier, unique across languages (e.g. ``"cpp.openmp"``).
+    uid: str
+    #: Short name used in prompts and tables (e.g. ``"OpenMP"``).
+    display_name: str
+    #: Host language canonical name.
+    language: str
+    #: The exact phrase used in the prompt (usually the display name, but
+    #: e.g. OpenMP offload adds the word "offload").
+    prompt_phrase: str
+    #: Hardware target.
+    target: ExecutionTarget
+    #: Year the model (or the binding) became broadly usable; a maturity proxy.
+    introduced: int
+    #: Tokens identifying a suggestion as using this model.
+    detection_markers: tuple[str, ...] = ()
+    #: Markers that, if present, contradict this model (e.g. OpenMP offload
+    #: requires a ``target`` clause on top of plain OpenMP pragmas).
+    required_markers: tuple[str, ...] = ()
+    #: Extra notes (vendor, deprecations) used in reports.
+    notes: str = ""
+    #: Free-form tags (e.g. "directive", "kernel-language", "library").
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def short_name(self) -> str:
+        """The model identifier without the language prefix (``"openmp"``)."""
+        return self.uid.split(".", 1)[1]
+
+    def language_display(self) -> str:
+        return get_language(self.language).display_name
+
+
+def _m(*args, **kwargs) -> ProgrammingModel:
+    return ProgrammingModel(*args, **kwargs)
+
+
+#: All evaluated models, keyed by uid, in the order of the paper's tables.
+PROGRAMMING_MODELS: dict[str, ProgrammingModel] = {
+    m.uid: m
+    for m in [
+        # ----------------------------------------------------------- C++ ----
+        _m(
+            uid="cpp.openmp",
+            display_name="OpenMP",
+            language="cpp",
+            prompt_phrase="OpenMP",
+            target=ExecutionTarget.CPU,
+            introduced=1998,
+            detection_markers=("#pragma omp", "omp.h", "omp_get_num_threads"),
+            required_markers=("#pragma omp",),
+            tags=("directive",),
+        ),
+        _m(
+            uid="cpp.openmp_offload",
+            display_name="OpenMP offload",
+            language="cpp",
+            prompt_phrase="OpenMP offload",
+            target=ExecutionTarget.GPU,
+            introduced=2013,
+            detection_markers=("#pragma omp target", "omp target teams"),
+            required_markers=("#pragma omp target",),
+            tags=("directive", "offload"),
+        ),
+        _m(
+            uid="cpp.openacc",
+            display_name="OpenACC",
+            language="cpp",
+            prompt_phrase="OpenACC",
+            target=ExecutionTarget.GPU,
+            introduced=2011,
+            detection_markers=("#pragma acc", "openacc.h"),
+            required_markers=("#pragma acc",),
+            tags=("directive",),
+        ),
+        _m(
+            uid="cpp.kokkos",
+            display_name="Kokkos",
+            language="cpp",
+            prompt_phrase="Kokkos",
+            target=ExecutionTarget.BOTH,
+            introduced=2014,
+            detection_markers=("Kokkos::", "Kokkos_Core.hpp", "KOKKOS_LAMBDA"),
+            required_markers=("Kokkos::parallel_for", "Kokkos::parallel_reduce"),
+            tags=("abstraction", "library"),
+        ),
+        _m(
+            uid="cpp.cuda",
+            display_name="CUDA",
+            language="cpp",
+            prompt_phrase="CUDA",
+            target=ExecutionTarget.GPU,
+            introduced=2007,
+            detection_markers=("__global__", "cudaMalloc", "cudaMemcpy", "<<<", "blockIdx"),
+            required_markers=("__global__",),
+            notes="NVIDIA kernel language",
+            tags=("kernel-language", "vendor"),
+        ),
+        _m(
+            uid="cpp.hip",
+            display_name="HIP",
+            language="cpp",
+            prompt_phrase="HIP",
+            target=ExecutionTarget.GPU,
+            introduced=2016,
+            detection_markers=("hipMalloc", "hipMemcpy", "hipLaunchKernelGGL", "hip_runtime.h"),
+            required_markers=("__global__",),
+            notes="AMD ROCm kernel language",
+            tags=("kernel-language", "vendor"),
+        ),
+        _m(
+            uid="cpp.thrust",
+            display_name="Thrust",
+            language="cpp",
+            prompt_phrase="Thrust",
+            target=ExecutionTarget.GPU,
+            introduced=2009,
+            detection_markers=("thrust::", "thrust/device_vector.h"),
+            required_markers=("thrust::",),
+            tags=("library",),
+        ),
+        _m(
+            uid="cpp.sycl",
+            display_name="SyCL",
+            language="cpp",
+            prompt_phrase="SyCL",
+            target=ExecutionTarget.BOTH,
+            introduced=2015,
+            detection_markers=("sycl::", "CL/sycl.hpp", "queue.submit", "parallel_for"),
+            required_markers=("sycl::",),
+            tags=("abstraction",),
+        ),
+        # ------------------------------------------------------- Fortran ----
+        _m(
+            uid="fortran.openmp",
+            display_name="OpenMP",
+            language="fortran",
+            prompt_phrase="OpenMP",
+            target=ExecutionTarget.CPU,
+            introduced=1997,
+            detection_markers=("!$omp", "use omp_lib"),
+            required_markers=("!$omp",),
+            tags=("directive",),
+        ),
+        _m(
+            uid="fortran.openmp_offload",
+            display_name="OpenMP offload",
+            language="fortran",
+            prompt_phrase="OpenMP offload",
+            target=ExecutionTarget.GPU,
+            introduced=2013,
+            detection_markers=("!$omp target", "!$omp target teams"),
+            required_markers=("!$omp target",),
+            tags=("directive", "offload"),
+        ),
+        _m(
+            uid="fortran.openacc",
+            display_name="OpenACC",
+            language="fortran",
+            prompt_phrase="OpenACC",
+            target=ExecutionTarget.GPU,
+            introduced=2011,
+            detection_markers=("!$acc",),
+            required_markers=("!$acc",),
+            tags=("directive",),
+        ),
+        # -------------------------------------------------------- Python ----
+        _m(
+            uid="python.numpy",
+            display_name="numpy",
+            language="python",
+            prompt_phrase="numpy",
+            target=ExecutionTarget.CPU,
+            introduced=2006,
+            detection_markers=("import numpy", "np.", "numpy."),
+            required_markers=("numpy",),
+            notes="de-facto standard for scientific Python; not a parallel model per se",
+            tags=("library",),
+        ),
+        _m(
+            uid="python.numba",
+            display_name="Numba",
+            language="python",
+            prompt_phrase="Numba",
+            target=ExecutionTarget.BOTH,
+            introduced=2015,
+            detection_markers=("import numba", "from numba", "@njit", "@jit", "numba.cuda", "@cuda.jit", "prange"),
+            required_markers=("numba",),
+            notes="LLVM JIT; AMD GPU support deprecated",
+            tags=("jit",),
+        ),
+        _m(
+            uid="python.cupy",
+            display_name="cuPy",
+            language="python",
+            prompt_phrase="cuPy",
+            target=ExecutionTarget.GPU,
+            introduced=2017,
+            detection_markers=("import cupy", "cupy.", "cp.", "RawKernel", "ElementwiseKernel"),
+            required_markers=("cupy",),
+            tags=("library", "vendor"),
+        ),
+        _m(
+            uid="python.pycuda",
+            display_name="pyCUDA",
+            language="python",
+            prompt_phrase="pyCUDA",
+            target=ExecutionTarget.GPU,
+            introduced=2012,
+            detection_markers=("import pycuda", "pycuda.autoinit", "SourceModule", "drv.", "gpuarray"),
+            required_markers=("pycuda",),
+            tags=("library", "vendor"),
+        ),
+        # --------------------------------------------------------- Julia ----
+        _m(
+            uid="julia.threads",
+            display_name="Threads",
+            language="julia",
+            prompt_phrase="Threads",
+            target=ExecutionTarget.CPU,
+            introduced=2014,
+            detection_markers=("Threads.@threads", "@threads", "Threads.nthreads"),
+            required_markers=("@threads",),
+            notes="part of Julia Base",
+            tags=("base",),
+        ),
+        _m(
+            uid="julia.cuda",
+            display_name="CUDA",
+            language="julia",
+            prompt_phrase="CUDA",
+            target=ExecutionTarget.GPU,
+            introduced=2018,
+            detection_markers=("using CUDA", "CuArray", "@cuda", "threadIdx", "blockIdx"),
+            required_markers=("CUDA",),
+            notes="CUDA.jl",
+            tags=("vendor",),
+        ),
+        _m(
+            uid="julia.amdgpu",
+            display_name="AMDGPU",
+            language="julia",
+            prompt_phrase="AMDGPU",
+            target=ExecutionTarget.GPU,
+            introduced=2021,
+            detection_markers=("using AMDGPU", "ROCArray", "@roc", "workitemIdx"),
+            required_markers=("AMDGPU",),
+            notes="AMDGPU.jl",
+            tags=("vendor",),
+        ),
+        _m(
+            uid="julia.kernelabstractions",
+            display_name="KernelAbstractions",
+            language="julia",
+            prompt_phrase="KernelAbstractions",
+            target=ExecutionTarget.BOTH,
+            introduced=2020,
+            detection_markers=("using KernelAbstractions", "@kernel", "@index", "KernelAbstractions"),
+            required_markers=("@kernel",),
+            notes="KernelAbstractions.jl",
+            tags=("abstraction",),
+        ),
+    ]
+}
+
+
+def get_model(uid: str) -> ProgrammingModel:
+    """Look up a programming model by uid (``"cpp.openmp"``) or by
+    ``"<language> <name>"`` (``"cpp openmp"``)."""
+    key = uid.strip().lower().replace(" ", ".")
+    if key in PROGRAMMING_MODELS:
+        return PROGRAMMING_MODELS[key]
+    raise KeyError(
+        f"unknown programming model {uid!r}; known: {', '.join(PROGRAMMING_MODELS)}"
+    )
+
+
+def models_for_language(language: str) -> tuple[ProgrammingModel, ...]:
+    """All models for a language, in table order."""
+    lang = get_language(language).name
+    return tuple(m for m in PROGRAMMING_MODELS.values() if m.language == lang)
+
+
+def model_names(language: str | None = None) -> tuple[str, ...]:
+    """All model uids, optionally restricted to one language."""
+    if language is None:
+        return tuple(PROGRAMMING_MODELS.keys())
+    return tuple(m.uid for m in models_for_language(language))

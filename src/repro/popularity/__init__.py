@@ -1,0 +1,38 @@
+"""Popularity and maturity priors.
+
+The paper hypothesises (Section 3) that suggestion quality "correlates with
+the expected availability of correct programming models and public code
+examples" and grounds that expectation in two public popularity measures: the
+GitHut per-language repository statistics and the TIOBE index.  Neither is
+reachable offline, so this package ships frozen synthetic snapshots whose
+*orderings* match the public 2023 data, plus a per-programming-model maturity
+model.  Together they form the prior that drives the simulated suggestion
+engine.
+
+Nothing in this package is fitted to the paper's result tables — see
+DESIGN.md §6 for the calibration policy.
+"""
+
+from __future__ import annotations
+
+from repro.popularity.githut import GITHUT_2023_Q1, github_share, GithutEntry
+from repro.popularity.tiobe import TIOBE_2023_APRIL, tiobe_rating, TiobeEntry
+from repro.popularity.maturity import (
+    MaturityModel,
+    language_popularity,
+    model_maturity,
+    scientific_affinity,
+)
+
+__all__ = [
+    "GITHUT_2023_Q1",
+    "GithutEntry",
+    "github_share",
+    "TIOBE_2023_APRIL",
+    "TiobeEntry",
+    "tiobe_rating",
+    "MaturityModel",
+    "language_popularity",
+    "model_maturity",
+    "scientific_affinity",
+]

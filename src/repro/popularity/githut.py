@@ -1,0 +1,55 @@
+"""Synthetic GitHut-style language share snapshot (2023 Q1 ordering).
+
+GitHut reports the share of GitHub activity (pull requests / pushes) per
+language.  The real site is a live web resource; here we freeze a synthetic
+snapshot whose ordering reflects the widely reported early-2023 situation:
+Python and C++ are mainstream (several percent of all activity each), while
+Fortran and Julia are niche scientific languages well below one percent.
+
+Only the *relative ordering and rough magnitude* of these shares matter for
+the reproduction — they feed the prior of the simulated suggestion engine,
+mirroring Copilot's statement that suggestion quality "may depend on the
+volume and diversity of training data for that language".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GithutEntry", "GITHUT_2023_Q1", "github_share", "relative_code_volume"]
+
+
+@dataclass(frozen=True)
+class GithutEntry:
+    """Share of GitHub activity for one language."""
+
+    language: str
+    #: Fraction of pull requests, in [0, 1].
+    pull_request_share: float
+    #: Approximate number of public repositories (millions), a coarse proxy
+    #: for the amount of training code available.
+    repositories_millions: float
+
+
+#: Frozen synthetic snapshot (ordering matches public GitHut 2023 Q1 data).
+GITHUT_2023_Q1: dict[str, GithutEntry] = {
+    "python": GithutEntry("python", pull_request_share=0.17, repositories_millions=2.4),
+    "cpp": GithutEntry("cpp", pull_request_share=0.072, repositories_millions=1.1),
+    "fortran": GithutEntry("fortran", pull_request_share=0.0021, repositories_millions=0.045),
+    "julia": GithutEntry("julia", pull_request_share=0.0016, repositories_millions=0.028),
+}
+
+
+def github_share(language: str) -> float:
+    """Pull-request share for a language (0 when unknown)."""
+    entry = GITHUT_2023_Q1.get(language.strip().lower())
+    return entry.pull_request_share if entry else 0.0
+
+
+def relative_code_volume(language: str) -> float:
+    """Repository volume normalised to the most popular evaluated language."""
+    entry = GITHUT_2023_Q1.get(language.strip().lower())
+    if entry is None:
+        return 0.0
+    max_repos = max(e.repositories_millions for e in GITHUT_2023_Q1.values())
+    return entry.repositories_millions / max_repos

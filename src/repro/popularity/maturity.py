@@ -1,0 +1,141 @@
+"""Programming-model maturity and language affinity priors.
+
+These constants quantify, on a 0-1 scale, how much *relevant public example
+code* a code-generation model trained on public repositories would have seen
+for each programming model — the causal mechanism the paper uses to explain
+its results ("This could be due to the maturity of these programming models
+compared to others and their availability in public code").
+
+The numbers are set from publicly known facts about each model — age,
+breadth of adoption, whether it ships with compilers by default, the size of
+its tutorial/benchmark ecosystem — and are deliberately *not* tuned against
+the paper's result tables (DESIGN.md §6).  Rough rationale per entry is given
+inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.languages import get_language
+from repro.models.programming_models import PROGRAMMING_MODELS
+from repro.popularity.githut import relative_code_volume
+from repro.popularity.tiobe import tiobe_rating
+
+__all__ = [
+    "MODEL_MATURITY",
+    "SCIENTIFIC_AFFINITY",
+    "MaturityModel",
+    "model_maturity",
+    "language_popularity",
+    "scientific_affinity",
+]
+
+#: Availability of public, correct example code for each programming model.
+#: 1.0 would mean "as ubiquitous as serial C loops"; 0.0 means essentially no
+#: public examples existed at the study date (April 2023).
+MODEL_MATURITY: dict[str, float] = {
+    # C++ --------------------------------------------------------------
+    "cpp.openmp": 0.90,            # 25 years old, ships with every compiler, countless tutorials
+    "cpp.openmp_offload": 0.55,    # target offload is much younger (4.0/4.5) and less exercised
+    "cpp.openacc": 0.45,           # directive model mostly used on NVIDIA HPC systems
+    "cpp.kokkos": 0.40,            # large DOE adoption but a comparatively small public corpus
+    "cpp.cuda": 0.85,              # enormous amount of public kernels since 2007
+    "cpp.hip": 0.30,               # young ROCm ecosystem, far fewer public examples
+    "cpp.thrust": 0.35,            # niche STL-like library, mostly transform/reduce examples
+    "cpp.sycl": 0.40,              # growing but recent (oneAPI-era) corpus
+    # Fortran ----------------------------------------------------------
+    "fortran.openmp": 0.80,        # legacy HPC codes are full of OpenMP-parallel loops
+    "fortran.openmp_offload": 0.45,
+    "fortran.openacc": 0.50,       # OpenACC originated in the Fortran HPC community
+    # Python -----------------------------------------------------------
+    "python.numpy": 0.95,          # the de-facto standard for scientific Python
+    "python.numba": 0.45,          # sizeable but much smaller corpus; GPU support in flux
+    "python.cupy": 0.60,           # popular drop-in GPU numpy; raw-kernel examples in the docs
+    "python.pycuda": 0.55,         # long-standing, SourceModule examples widely copied
+    # Julia ------------------------------------------------------------
+    "julia.threads": 0.70,         # part of Base, used in most multi-threaded Julia code
+    "julia.cuda": 0.65,            # CUDA.jl is the flagship, well-documented GPU stack
+    "julia.amdgpu": 0.25,          # young package, little public example code
+    "julia.kernelabstractions": 0.30,  # young portability layer, few public kernels
+}
+
+#: How strongly a language's public code is concentrated on scientific /
+#: numerical topics.  Domain-targeted languages (Fortran, Julia) have less
+#: code overall, but what exists is far more likely to contain numerical
+#: kernels — the "targeted quality over quantity" effect the paper highlights
+#: for Fortran and Julia.
+SCIENTIFIC_AFFINITY: dict[str, float] = {
+    "cpp": 0.55,
+    "fortran": 0.95,
+    "python": 0.70,
+    "julia": 0.90,
+}
+
+
+def model_maturity(model_uid: str) -> float:
+    """Maturity prior for a programming model (KeyError for unknown models)."""
+    key = model_uid.strip().lower()
+    if key not in MODEL_MATURITY:
+        raise KeyError(f"no maturity prior for programming model {key!r}")
+    return MODEL_MATURITY[key]
+
+
+def language_popularity(language: str) -> float:
+    """Blend of GitHut code volume and TIOBE visibility, normalised to [0, 1]."""
+    lang = get_language(language).name
+    volume = relative_code_volume(lang)
+    max_rating = max(tiobe_rating(name) for name in ("python", "cpp", "fortran", "julia"))
+    visibility = tiobe_rating(lang) / max_rating if max_rating > 0 else 0.0
+    return 0.5 * volume + 0.5 * visibility
+
+
+def scientific_affinity(language: str) -> float:
+    """Scientific-affinity prior for a language."""
+    lang = get_language(language).name
+    return SCIENTIFIC_AFFINITY[lang]
+
+
+@dataclass(frozen=True)
+class MaturityModel:
+    """Combined prior: effective public-example availability for a prompt.
+
+    ``effective_availability`` combines three ingredients on a 0-1 scale:
+
+    * the programming model maturity (the dominant term),
+    * the host language's overall code volume/visibility, and
+    * the language's scientific affinity, which compensates domain-targeted
+      languages for their small overall volume.
+
+    The weights below express that the model-specific corpus matters most,
+    and that for numerical kernels the relevant corpus of a small scientific
+    language can rival that of a huge general-purpose one (the paper's
+    Fortran/Julia observation).
+    """
+
+    model_weight: float = 0.62
+    popularity_weight: float = 0.14
+    affinity_weight: float = 0.24
+    overrides: dict[str, float] = field(default_factory=dict)
+
+    def effective_availability(self, language: str, model_uid: str) -> float:
+        """Effective availability of relevant public examples, in [0, 1]."""
+        if model_uid in self.overrides:
+            return max(0.0, min(1.0, self.overrides[model_uid]))
+        total = (
+            self.model_weight * model_maturity(model_uid)
+            + self.popularity_weight * language_popularity(language)
+            + self.affinity_weight * scientific_affinity(language)
+        )
+        weight_sum = self.model_weight + self.popularity_weight + self.affinity_weight
+        return max(0.0, min(1.0, total / weight_sum))
+
+    def ranking(self, language: str) -> list[tuple[str, float]]:
+        """Models of a language ranked by effective availability (descending)."""
+        lang = get_language(language).name
+        scored = [
+            (uid, self.effective_availability(lang, uid))
+            for uid, model in PROGRAMMING_MODELS.items()
+            if model.language == lang
+        ]
+        return sorted(scored, key=lambda item: item[1], reverse=True)

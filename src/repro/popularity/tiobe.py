@@ -1,0 +1,44 @@
+"""Synthetic TIOBE-style index snapshot (April 2023 ordering).
+
+The TIOBE index ranks languages by search-engine visibility.  The snapshot
+below freezes the April-2023 ordering for the four evaluated languages:
+Python (#1 overall), C++ (#3-4), Fortran (re-entered the top 20 around 2021
+thanks to HPC), Julia (low twenties / thirties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TiobeEntry", "TIOBE_2023_APRIL", "tiobe_rating", "tiobe_rank"]
+
+
+@dataclass(frozen=True)
+class TiobeEntry:
+    """TIOBE-style rank and rating for one language."""
+
+    language: str
+    rank: int
+    #: Rating in percent (share of search-engine hits).
+    rating_percent: float
+
+
+#: Frozen synthetic snapshot (ordering matches the public April 2023 index).
+TIOBE_2023_APRIL: dict[str, TiobeEntry] = {
+    "python": TiobeEntry("python", rank=1, rating_percent=14.5),
+    "cpp": TiobeEntry("cpp", rank=4, rating_percent=12.9),
+    "fortran": TiobeEntry("fortran", rank=20, rating_percent=0.79),
+    "julia": TiobeEntry("julia", rank=29, rating_percent=0.36),
+}
+
+
+def tiobe_rating(language: str) -> float:
+    """TIOBE rating in percent (0 when unknown)."""
+    entry = TIOBE_2023_APRIL.get(language.strip().lower())
+    return entry.rating_percent if entry else 0.0
+
+
+def tiobe_rank(language: str) -> int:
+    """TIOBE rank (a large sentinel when unknown)."""
+    entry = TIOBE_2023_APRIL.get(language.strip().lower())
+    return entry.rank if entry else 999

@@ -1,0 +1,34 @@
+"""Execution sandbox for Python suggestions.
+
+The paper's authors judged GPU-targeting Python suggestions (cuPy, pyCUDA,
+Numba) by reading them; we go further and *execute* them against the
+numerical oracles, replacing the unavailable GPU stack with:
+
+* :mod:`repro.sandbox.fake_numba` — a no-op JIT (``@njit``/``@jit`` return
+  the undecorated function, ``prange`` is ``range``),
+* :mod:`repro.sandbox.fake_cupy` — a numpy-backed ``cupy`` with ``asarray``,
+  ``asnumpy``, ufuncs and ``RawKernel``,
+* :mod:`repro.sandbox.fake_pycuda` — ``pycuda.autoinit``, ``pycuda.driver``
+  (``In``/``Out``/``InOut``) and ``SourceModule``,
+* :mod:`repro.sandbox.cuda_c` — a miniature CUDA-C interpreter that actually
+  runs the raw kernels embedded in ``RawKernel``/``SourceModule`` sources on
+  a simulated grid/block/thread device model.
+
+``evaluate_python_suggestion`` is the entry point used by the analyzers.
+"""
+
+from __future__ import annotations
+
+from repro.sandbox.executor import ExecutionResult, evaluate_python_suggestion, run_python_suggestion
+from repro.sandbox.tasks import SandboxTask, get_task
+from repro.sandbox.cuda_c import CudaModule, CudaKernel
+
+__all__ = [
+    "ExecutionResult",
+    "evaluate_python_suggestion",
+    "run_python_suggestion",
+    "SandboxTask",
+    "get_task",
+    "CudaModule",
+    "CudaKernel",
+]

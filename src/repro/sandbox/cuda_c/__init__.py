@@ -1,0 +1,19 @@
+"""Miniature CUDA-C kernel interpreter.
+
+Parses the subset of CUDA C that numerical kernels of the AXPY/GEMV/GEMM/
+SpMV/Jacobi/CG family use — ``__global__`` functions with scalar and pointer
+parameters, declarations, assignments, ``for``/``while``/``if`` statements
+and arithmetic expressions over ``threadIdx``/``blockIdx``/``blockDim``/
+``gridDim`` — and executes them over a simulated grid of thread blocks with
+device buffers backed by numpy arrays.
+
+This is the substrate that lets the sandbox run pyCUDA ``SourceModule`` and
+cuPy ``RawKernel`` suggestions without a GPU.
+"""
+
+from __future__ import annotations
+
+from repro.sandbox.cuda_c.interpreter import CudaKernel, CudaModule
+from repro.sandbox.cuda_c.parser import parse_cuda_source, CudaSyntaxError
+
+__all__ = ["CudaKernel", "CudaModule", "parse_cuda_source", "CudaSyntaxError"]

@@ -1,0 +1,134 @@
+"""AST node definitions for the CUDA-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Param", "KernelDef", "Block",
+    "Decl", "Assign", "If", "For", "While", "Return", "ExprStmt", "Break", "Continue",
+    "Num", "Var", "Index", "Member", "Unary", "Binary", "Call",
+]
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    value: float | int
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    base: "Var | Index"
+    index: object
+
+
+@dataclass(frozen=True)
+class Member:
+    base: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple = ()
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple = ()
+
+
+@dataclass(frozen=True)
+class Decl:
+    type: str
+    name: str
+    init: object | None = None
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: object      # Var or Index
+    op: str             # "=", "+=", "-=", "*=", "/="
+    value: object
+
+
+@dataclass(frozen=True)
+class If:
+    cond: object
+    then: Block
+    orelse: Block | None = None
+
+
+@dataclass(frozen=True)
+class For:
+    init: object | None
+    cond: object | None
+    update: object | None
+    body: Block
+
+
+@dataclass(frozen=True)
+class While:
+    cond: object
+    body: Block
+
+
+@dataclass(frozen=True)
+class Return:
+    value: object | None = None
+
+
+@dataclass(frozen=True)
+class Break:
+    pass
+
+
+@dataclass(frozen=True)
+class Continue:
+    pass
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: object
+
+
+# -- definitions ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Param:
+    type: str
+    name: str
+    is_pointer: bool = False
+    const: bool = False
+
+
+@dataclass(frozen=True)
+class KernelDef:
+    name: str
+    params: tuple[Param, ...]
+    body: Block
+    qualifiers: tuple[str, ...] = field(default=())

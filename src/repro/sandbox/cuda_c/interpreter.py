@@ -1,0 +1,387 @@
+"""Evaluator for the CUDA-C subset: runs a kernel over a simulated grid.
+
+The device model is intentionally simple but faithful for data-parallel
+kernels without cross-thread communication: every (block, thread) pair
+executes the kernel body sequentially with its own local environment; pointer
+parameters are numpy arrays shared by all threads (so writes are globally
+visible, matching global memory semantics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.sandbox.cuda_c import ast_nodes as ast
+from repro.sandbox.cuda_c.parser import parse_cuda_source
+
+__all__ = ["Dim3", "CudaKernel", "CudaModule", "CudaRuntimeError"]
+
+
+class CudaRuntimeError(RuntimeError):
+    """Raised for out-of-bounds accesses, unknown names or unsupported calls."""
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA dim3 (grid or block shape)."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    @classmethod
+    def from_value(cls, value: Any) -> "Dim3":
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(x=value)
+        seq = tuple(int(v) for v in value)
+        if len(seq) == 1:
+            return cls(x=seq[0])
+        if len(seq) == 2:
+            return cls(x=seq[0], y=seq[1])
+        if len(seq) == 3:
+            return cls(x=seq[0], y=seq[1], z=seq[2])
+        raise ValueError(f"cannot interpret {value!r} as dim3")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+_MATH_FUNCTIONS = {
+    "sqrt": math.sqrt,
+    "sqrtf": math.sqrt,
+    "fabs": abs,
+    "abs": abs,
+    "fabsf": abs,
+    "min": min,
+    "max": max,
+    "fmin": min,
+    "fmax": max,
+    "exp": math.exp,
+    "pow": math.pow,
+}
+
+
+class CudaKernel:
+    """A single ``__global__`` kernel ready to launch."""
+
+    #: Safety valve against runaway interpreted loops.
+    max_thread_steps = 2_000_000
+
+    def __init__(self, definition: ast.KernelDef):
+        self.definition = definition
+        self.name = definition.name
+
+    # -- launching ----------------------------------------------------------
+    def launch(self, grid: Any, block: Any, args: tuple) -> None:
+        """Execute the kernel over ``grid`` x ``block`` threads."""
+        grid3 = Dim3.from_value(grid)
+        block3 = Dim3.from_value(block)
+        params = self.definition.params
+        if len(args) != len(params):
+            raise CudaRuntimeError(
+                f"kernel {self.name!r} expects {len(params)} arguments, got {len(args)}"
+            )
+        bound: dict[str, Any] = {}
+        for param, arg in zip(params, args):
+            bound[param.name] = self._coerce_argument(param, arg)
+
+        builtins = {
+            "gridDim": Dim3(grid3.x, grid3.y, grid3.z),
+            "blockDim": Dim3(block3.x, block3.y, block3.z),
+        }
+        for bz in range(grid3.z):
+            for by in range(grid3.y):
+                for bx in range(grid3.x):
+                    for tz in range(block3.z):
+                        for ty in range(block3.y):
+                            for tx in range(block3.x):
+                                env = dict(bound)
+                                thread_builtins = dict(builtins)
+                                thread_builtins["blockIdx"] = Dim3(bx, by, bz)
+                                thread_builtins["threadIdx"] = Dim3(tx, ty, tz)
+                                self._run_thread(env, thread_builtins)
+
+    @staticmethod
+    def _coerce_argument(param: ast.Param, arg: Any) -> Any:
+        if param.is_pointer:
+            if not isinstance(arg, np.ndarray):
+                arg = np.asarray(arg)
+            flat = arg.reshape(-1) if arg.ndim > 1 else arg
+            return flat
+        if isinstance(arg, np.generic):
+            arg = arg.item()
+        if param.type.startswith("int") or param.type in ("unsigned", "long", "size_t"):
+            return int(arg)
+        return float(arg)
+
+    # -- execution ------------------------------------------------------------
+    def _run_thread(self, env: dict[str, Any], builtins: Mapping[str, Dim3]) -> None:
+        state = _ThreadState(env=env, builtins=builtins, budget=self.max_thread_steps)
+        try:
+            self._exec_block(self.definition.body, state)
+        except _ReturnSignal:
+            pass
+
+    def _exec_block(self, block: ast.Block, state: "_ThreadState") -> None:
+        for stmt in block.statements:
+            self._exec_stmt(stmt, state)
+
+    def _exec_stmt(self, stmt: object, state: "_ThreadState") -> None:
+        state.step()
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, state)
+        elif isinstance(stmt, ast.Decl):
+            value = self._eval(stmt.init, state) if stmt.init is not None else 0
+            if stmt.type.startswith("int") or stmt.type in ("unsigned", "long", "size_t"):
+                if not isinstance(value, np.ndarray):
+                    value = int(value)
+            state.env[stmt.name] = value
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt, state)
+        elif isinstance(stmt, ast.If):
+            if self._truthy(self._eval(stmt.cond, state)):
+                self._exec_block(stmt.then, state)
+            elif stmt.orelse is not None:
+                self._exec_block(stmt.orelse, state)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._exec_stmt(stmt.init, state)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond, state)):
+                state.step()
+                try:
+                    self._exec_block(stmt.body, state)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.update is not None:
+                    self._exec_stmt(stmt.update, state)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(self._eval(stmt.cond, state)):
+                state.step()
+                try:
+                    self._exec_block(stmt.body, state)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal()
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, state)
+        else:  # pragma: no cover - parser produces only the above
+            raise CudaRuntimeError(f"unsupported statement {stmt!r}")
+
+    def _assign(self, stmt: ast.Assign, state: "_ThreadState") -> None:
+        value = self._eval(stmt.value, state)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            current = state.env.get(target.name, 0)
+            state.env[target.name] = self._apply_op(stmt.op, current, value)
+        elif isinstance(target, ast.Index):
+            array, index = self._resolve_index(target, state)
+            current = array[index]
+            array[index] = self._apply_op(stmt.op, current, value)
+        else:
+            raise CudaRuntimeError(f"cannot assign to {target!r}")
+
+    @staticmethod
+    def _apply_op(op: str, current: Any, value: Any) -> Any:
+        if op == "=":
+            return value
+        if op == "+=":
+            return current + value
+        if op == "-=":
+            return current - value
+        if op == "*=":
+            return current * value
+        if op == "/=":
+            return current / value
+        if op == "%=":
+            return current % value
+        raise CudaRuntimeError(f"unsupported assignment operator {op!r}")
+
+    def _resolve_index(self, node: ast.Index, state: "_ThreadState") -> tuple[np.ndarray, int]:
+        base = node.base
+        if not isinstance(base, ast.Var):
+            raise CudaRuntimeError("only one-dimensional pointer indexing is supported")
+        array = state.env.get(base.name)
+        if not isinstance(array, np.ndarray):
+            raise CudaRuntimeError(f"{base.name!r} is not a device buffer")
+        index = int(self._eval(node.index, state))
+        if index < 0 or index >= array.size:
+            raise CudaRuntimeError(
+                f"out-of-bounds access: {base.name}[{index}] (size {array.size})"
+            )
+        return array, index
+
+    # -- expression evaluation ---------------------------------------------------
+    def _eval(self, node: object, state: "_ThreadState") -> Any:
+        state.step()
+        if isinstance(node, ast.Num):
+            return node.value
+        if isinstance(node, ast.Var):
+            if node.name in state.env:
+                return state.env[node.name]
+            if node.name in state.builtins:
+                return state.builtins[node.name]
+            raise CudaRuntimeError(f"unknown identifier {node.name!r}")
+        if isinstance(node, ast.Member):
+            base = state.builtins.get(node.base) or state.env.get(node.base)
+            if base is None:
+                raise CudaRuntimeError(f"unknown identifier {node.base!r}")
+            try:
+                return getattr(base, node.field)
+            except AttributeError:
+                raise CudaRuntimeError(f"{node.base!r} has no member {node.field!r}") from None
+        if isinstance(node, ast.Index):
+            array, index = self._resolve_index(node, state)
+            value = array[index]
+            if isinstance(value, np.generic):
+                return value.item()
+            return value
+        if isinstance(node, ast.Unary):
+            if node.op in ("pre++", "pre--"):
+                operand = node.operand
+                if not isinstance(operand, ast.Var):
+                    raise CudaRuntimeError("unsupported pre-increment target")
+                delta = 1 if node.op == "pre++" else -1
+                state.env[operand.name] = state.env.get(operand.name, 0) + delta
+                return state.env[operand.name]
+            value = self._eval(node.operand, state)
+            if node.op == "-":
+                return -value
+            if node.op == "+":
+                return value
+            if node.op == "!":
+                return 0 if self._truthy(value) else 1
+        if isinstance(node, ast.Binary):
+            return self._eval_binary(node, state)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, state)
+        raise CudaRuntimeError(f"unsupported expression {node!r}")
+
+    def _eval_binary(self, node: ast.Binary, state: "_ThreadState") -> Any:
+        if node.op == "&&":
+            return 1 if (self._truthy(self._eval(node.left, state))
+                         and self._truthy(self._eval(node.right, state))) else 0
+        if node.op == "||":
+            return 1 if (self._truthy(self._eval(node.left, state))
+                         or self._truthy(self._eval(node.right, state))) else 0
+        left = self._eval(node.left, state)
+        right = self._eval(node.right, state)
+        op = node.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise CudaRuntimeError("integer division by zero")
+                return left // right
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "<":
+            return 1 if left < right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        raise CudaRuntimeError(f"unsupported operator {op!r}")
+
+    def _eval_call(self, node: ast.Call, state: "_ThreadState") -> Any:
+        name = node.name
+        if name == "__syncthreads":
+            return 0
+        if name == "atomicAdd":
+            if len(node.args) != 2:
+                raise CudaRuntimeError("atomicAdd expects two arguments")
+            target = node.args[0]
+            # Accept &x[i] style (parsed as Unary), a direct element index, or
+            # a bare pointer (which addresses element 0, the common scalar
+            # accumulator idiom `atomicAdd(result, value)`).
+            if isinstance(target, ast.Unary):
+                target = target.operand
+            value = self._eval(node.args[1], state)
+            if isinstance(target, ast.Index):
+                array, index = self._resolve_index(target, state)
+            elif isinstance(target, ast.Var):
+                array = state.env.get(target.name)
+                if not isinstance(array, np.ndarray):
+                    raise CudaRuntimeError("atomicAdd target must be a device buffer")
+                index = 0
+            else:
+                raise CudaRuntimeError("atomicAdd target must be an array element or pointer")
+            array[index] += value
+            return array[index]
+        if name == "__local_array__":
+            size = int(self._eval(node.args[0], state))
+            return np.zeros(size, dtype=np.float64)
+        if name in _MATH_FUNCTIONS:
+            args = [self._eval(arg, state) for arg in node.args]
+            return _MATH_FUNCTIONS[name](*args)
+        raise CudaRuntimeError(f"call to undefined function {name!r}")
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return bool(value)
+
+
+@dataclass
+class _ThreadState:
+    env: dict[str, Any]
+    builtins: Mapping[str, Dim3]
+    budget: int
+
+    def step(self) -> None:
+        self.budget -= 1
+        if self.budget <= 0:
+            raise CudaRuntimeError("kernel exceeded the interpreter step budget")
+
+
+class CudaModule:
+    """A parsed CUDA-C translation unit (the fake ``SourceModule``)."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.kernels = {name: CudaKernel(defn) for name, defn in parse_cuda_source(source).items()}
+
+    def get_kernel(self, name: str) -> CudaKernel:
+        if name not in self.kernels:
+            raise KeyError(
+                f"module defines no kernel {name!r}; available: {', '.join(self.kernels) or 'none'}"
+            )
+        return self.kernels[name]

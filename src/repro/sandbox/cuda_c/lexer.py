@@ -1,0 +1,76 @@
+"""Tokenizer for the CUDA-C subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "CudaLexError"]
+
+
+class CudaLexError(ValueError):
+    """Raised when the source contains characters the subset does not allow."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # "ident", "number", "op", "keyword", "string"
+    text: str
+    line: int
+
+
+KEYWORDS = {
+    "if", "else", "for", "while", "return", "const", "void",
+    "int", "float", "double", "unsigned", "long", "size_t", "bool",
+    "__global__", "__device__", "__host__", "__shared__", "__restrict__",
+    "extern", "static", "struct",
+}
+
+#: Multi-character operators, longest first so the tokenizer is greedy.
+_OPERATORS = (
+    "<<<", ">>>", "<<=", ">>=",
+    "&&", "||", "==", "!=", "<=", ">=", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "?", ":",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?[fFuUlL]*)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize CUDA-C source into a flat token list (comments stripped)."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            snippet = source[pos:pos + 20].splitlines()[0]
+            raise CudaLexError(f"unexpected character at line {line}: {snippet!r}")
+        text = match.group(0)
+        line += text.count("\n")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        if match.lastgroup == "ident":
+            kind = "keyword" if text in KEYWORDS else "ident"
+        elif match.lastgroup == "number":
+            kind = "number"
+        elif match.lastgroup == "string":
+            kind = "string"
+        else:
+            kind = "op"
+        tokens.append(Token(kind=kind, text=text, line=line))
+    return tokens

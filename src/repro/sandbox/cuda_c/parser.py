@@ -1,0 +1,378 @@
+"""Recursive-descent parser for the CUDA-C subset."""
+
+from __future__ import annotations
+
+from repro.sandbox.cuda_c import ast_nodes as ast
+from repro.sandbox.cuda_c.lexer import Token, tokenize
+
+__all__ = ["CudaSyntaxError", "parse_cuda_source"]
+
+_TYPE_KEYWORDS = {"void", "int", "float", "double", "unsigned", "long", "size_t", "bool"}
+_QUALIFIERS = {"__global__", "__device__", "__host__", "static", "extern", "__shared__", "const",
+               "__restrict__"}
+
+
+class CudaSyntaxError(SyntaxError):
+    """Raised when the source uses constructs outside the supported subset."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token | None:
+        idx = self.pos + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise CudaSyntaxError("unexpected end of source")
+        self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    def match(self, text: str) -> bool:
+        if self.check(text):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if token is None or token.text != text:
+            found = token.text if token else "<eof>"
+            line = token.line if token else -1
+            raise CudaSyntaxError(f"expected {text!r} but found {found!r} (line {line})")
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+    def parse_module(self) -> dict[str, ast.KernelDef]:
+        kernels: dict[str, ast.KernelDef] = {}
+        while not self.at_end():
+            # Skip `extern "C"` linkage wrappers.
+            if self.check("extern"):
+                self.advance()
+                if self.peek() is not None and self.peek().kind == "string":
+                    self.advance()
+                if self.match("{"):
+                    continue
+                continue
+            if self.check("}"):
+                self.advance()
+                continue
+            kernel = self.parse_function()
+            kernels[kernel.name] = kernel
+        return kernels
+
+    def parse_function(self) -> ast.KernelDef:
+        qualifiers: list[str] = []
+        while self.peek() is not None and self.peek().text in _QUALIFIERS:
+            qualifiers.append(self.advance().text)
+        # Return type (possibly multi-word, e.g. `unsigned int`).
+        if self.peek() is None or self.peek().text not in _TYPE_KEYWORDS:
+            found = self.peek().text if self.peek() else "<eof>"
+            raise CudaSyntaxError(f"expected a return type, found {found!r}")
+        while self.peek() is not None and self.peek().text in _TYPE_KEYWORDS:
+            self.advance()
+        while self.match("*"):
+            pass
+        name_token = self.advance()
+        if name_token.kind != "ident":
+            raise CudaSyntaxError(f"expected function name, found {name_token.text!r}")
+        self.expect("(")
+        params = self.parse_params()
+        body = self.parse_block()
+        return ast.KernelDef(
+            name=name_token.text, params=tuple(params), body=body, qualifiers=tuple(qualifiers)
+        )
+
+    def parse_params(self) -> list[ast.Param]:
+        params: list[ast.Param] = []
+        if self.match(")"):
+            return params
+        while True:
+            const = False
+            ptype_parts: list[str] = []
+            while self.peek() is not None and (
+                self.peek().text in _TYPE_KEYWORDS or self.peek().text in _QUALIFIERS
+            ):
+                text = self.advance().text
+                if text == "const":
+                    const = True
+                elif text in _TYPE_KEYWORDS:
+                    ptype_parts.append(text)
+            is_pointer = False
+            while self.match("*"):
+                is_pointer = True
+            if self.match("__restrict__"):
+                pass
+            name_token = self.advance()
+            if name_token.kind != "ident":
+                raise CudaSyntaxError(f"expected parameter name, found {name_token.text!r}")
+            params.append(
+                ast.Param(
+                    type=" ".join(ptype_parts) or "double",
+                    name=name_token.text,
+                    is_pointer=is_pointer,
+                    const=const,
+                )
+            )
+            if self.match(")"):
+                break
+            self.expect(",")
+        return params
+
+    # -- statements -----------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        self.expect("{")
+        statements: list[object] = []
+        while not self.check("}"):
+            if self.at_end():
+                raise CudaSyntaxError("unterminated block")
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return ast.Block(statements=tuple(statements))
+
+    def parse_statement(self) -> object:
+        token = self.peek()
+        if token is None:
+            raise CudaSyntaxError("unexpected end of source in statement")
+        if token.text == "{":
+            return self.parse_block()
+        if token.text == ";":
+            self.advance()
+            return ast.Block()
+        if token.text == "if":
+            return self.parse_if()
+        if token.text == "for":
+            return self.parse_for()
+        if token.text == "while":
+            return self.parse_while()
+        if token.text == "return":
+            self.advance()
+            value = None if self.check(";") else self.parse_expression()
+            self.expect(";")
+            return ast.Return(value=value)
+        if token.text == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break()
+        if token.text == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue()
+        if token.text in _TYPE_KEYWORDS or token.text in _QUALIFIERS:
+            stmt = self.parse_declaration()
+            self.expect(";")
+            return stmt
+        stmt = self.parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def parse_declaration(self) -> ast.Decl:
+        while self.peek() is not None and self.peek().text in _QUALIFIERS:
+            self.advance()
+        type_parts: list[str] = []
+        while self.peek() is not None and self.peek().text in _TYPE_KEYWORDS:
+            type_parts.append(self.advance().text)
+        while self.match("*"):
+            pass
+        name_token = self.advance()
+        if name_token.kind != "ident":
+            raise CudaSyntaxError(f"expected variable name, found {name_token.text!r}")
+        init = None
+        if self.match("["):
+            # Fixed-size local array (e.g. shared-memory tile); initialised to zeros.
+            size_expr = self.parse_expression()
+            self.expect("]")
+            init = ast.Call(name="__local_array__", args=(size_expr,))
+        if self.match("="):
+            init = self.parse_expression()
+        return ast.Decl(type=" ".join(type_parts) or "double", name=name_token.text, init=init)
+
+    def parse_simple_statement(self) -> object:
+        """Assignment, increment or expression statement (without the ';')."""
+        start = self.pos
+        expr = self.parse_expression()
+        token = self.peek()
+        if token is not None and token.text in ("=", "+=", "-=", "*=", "/=", "%="):
+            op = self.advance().text
+            value = self.parse_expression()
+            if not isinstance(expr, (ast.Var, ast.Index, ast.Member)):
+                raise CudaSyntaxError("invalid assignment target")
+            return ast.Assign(target=expr, op=op, value=value)
+        if token is not None and token.text in ("++", "--"):
+            op = self.advance().text
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise CudaSyntaxError("invalid increment target")
+            return ast.Assign(target=expr, op="+=" if op == "++" else "-=", value=ast.Num(1))
+        # Pre-increment handled in parse_expression via Unary; plain calls
+        # (e.g. __syncthreads()) become expression statements.
+        del start
+        return ast.ExprStmt(expr=expr)
+
+    def parse_if(self) -> ast.If:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then = self._statement_as_block()
+        orelse = None
+        if self.match("else"):
+            orelse = self._statement_as_block()
+        return ast.If(cond=cond, then=then, orelse=orelse)
+
+    def parse_for(self) -> ast.For:
+        self.expect("for")
+        self.expect("(")
+        init: object | None = None
+        if not self.check(";"):
+            if self.peek().text in _TYPE_KEYWORDS or self.peek().text in _QUALIFIERS:
+                init = self.parse_declaration()
+            else:
+                init = self.parse_simple_statement()
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expression()
+        self.expect(";")
+        update = None if self.check(")") else self.parse_simple_statement()
+        self.expect(")")
+        body = self._statement_as_block()
+        return ast.For(init=init, cond=cond, update=update, body=body)
+
+    def parse_while(self) -> ast.While:
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self._statement_as_block()
+        return ast.While(cond=cond, body=body)
+
+    def _statement_as_block(self) -> ast.Block:
+        stmt = self.parse_statement()
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block(statements=(stmt,))
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expression(self) -> object:
+        return self.parse_logical_or()
+
+    def parse_logical_or(self) -> object:
+        expr = self.parse_logical_and()
+        while self.check("||"):
+            self.advance()
+            expr = ast.Binary(op="||", left=expr, right=self.parse_logical_and())
+        return expr
+
+    def parse_logical_and(self) -> object:
+        expr = self.parse_equality()
+        while self.check("&&"):
+            self.advance()
+            expr = ast.Binary(op="&&", left=expr, right=self.parse_equality())
+        return expr
+
+    def parse_equality(self) -> object:
+        expr = self.parse_relational()
+        while self.peek() is not None and self.peek().text in ("==", "!="):
+            op = self.advance().text
+            expr = ast.Binary(op=op, left=expr, right=self.parse_relational())
+        return expr
+
+    def parse_relational(self) -> object:
+        expr = self.parse_additive()
+        while self.peek() is not None and self.peek().text in ("<", ">", "<=", ">="):
+            op = self.advance().text
+            expr = ast.Binary(op=op, left=expr, right=self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> object:
+        expr = self.parse_multiplicative()
+        while self.peek() is not None and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            expr = ast.Binary(op=op, left=expr, right=self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> object:
+        expr = self.parse_unary()
+        while self.peek() is not None and self.peek().text in ("*", "/", "%"):
+            op = self.advance().text
+            expr = ast.Binary(op=op, left=expr, right=self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> object:
+        token = self.peek()
+        if token is not None and token.text in ("-", "+", "!"):
+            op = self.advance().text
+            return ast.Unary(op=op, operand=self.parse_unary())
+        if token is not None and token.text in ("++", "--"):
+            op = self.advance().text
+            target = self.parse_unary()
+            return ast.Unary(op="pre" + op, operand=target)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> object:
+        expr = self.parse_primary()
+        while True:
+            if self.check("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(base=expr, index=index)
+            elif self.check(".") and isinstance(expr, ast.Var):
+                self.advance()
+                field_token = self.advance()
+                expr = ast.Member(base=expr.name, field=field_token.text)
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> object:
+        token = self.advance()
+        if token.kind == "number":
+            text = token.text.rstrip("fFuUlL")
+            if any(ch in text for ch in ".eE"):
+                return ast.Num(float(text))
+            return ast.Num(int(text))
+        if token.text == "(":
+            # Either a parenthesised expression or a C-style cast like
+            # `(size_t)n`; a cast is recognised by a lone type keyword.
+            if (
+                self.peek() is not None
+                and self.peek().text in _TYPE_KEYWORDS
+                and self.peek(1) is not None
+                and self.peek(1).text == ")"
+            ):
+                self.advance()
+                self.expect(")")
+                return self.parse_unary()
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        if token.kind in ("ident", "keyword"):
+            name = token.text
+            if self.check("("):
+                self.advance()
+                args: list[object] = []
+                if not self.check(")"):
+                    args.append(self.parse_expression())
+                    while self.match(","):
+                        args.append(self.parse_expression())
+                self.expect(")")
+                return ast.Call(name=name, args=tuple(args))
+            return ast.Var(name=name)
+        raise CudaSyntaxError(f"unexpected token {token.text!r} (line {token.line})")
+
+
+def parse_cuda_source(source: str) -> dict[str, ast.KernelDef]:
+    """Parse CUDA-C source and return its function definitions by name."""
+    tokens = tokenize(source)
+    return _Parser(tokens).parse_module()

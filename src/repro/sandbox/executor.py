@@ -1,0 +1,131 @@
+"""Restricted execution of Python suggestions against numerical oracles.
+
+``run_python_suggestion`` executes a suggestion module with the fake GPU /
+JIT runtimes installed in :data:`sys.modules`, locates the entry function for
+the kernel and calls it with the canonical :class:`~repro.sandbox.tasks.SandboxTask`
+arguments; ``evaluate_python_suggestion`` additionally compares the result
+against the oracle.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import types
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.analysis.pythonlang import find_entry_function
+from repro.kernels.validation import compare_outputs
+from repro.sandbox.tasks import SandboxTask, get_task
+
+__all__ = ["ExecutionResult", "run_python_suggestion", "evaluate_python_suggestion", "fake_runtime"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one Python suggestion."""
+
+    passed: bool
+    issues: list[str] = field(default_factory=list)
+    output: Any = None
+    entry_point: str | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.passed
+
+
+def _fake_module_map() -> dict[str, types.ModuleType]:
+    """The sys.modules entries that stand in for the GPU / JIT stack."""
+    from repro.sandbox import fake_cupy, fake_numba, fake_pycuda
+    from repro.sandbox.fake_pycuda import autoinit, compiler, driver, gpuarray
+
+    numba_module = types.ModuleType("numba")
+    for name in fake_numba.__all__:
+        setattr(numba_module, name, getattr(fake_numba, name))
+    numba_cuda = types.ModuleType("numba.cuda")
+    for name in ("jit", "grid", "to_device", "synchronize", "is_available"):
+        setattr(numba_cuda, name, getattr(fake_numba.cuda, name))
+    numba_module.cuda = fake_numba.cuda
+
+    return {
+        "numba": numba_module,
+        "numba.cuda": numba_cuda,
+        "cupy": fake_cupy,
+        "cupyx": types.ModuleType("cupyx"),
+        "pycuda": fake_pycuda,
+        "pycuda.autoinit": autoinit,
+        "pycuda.driver": driver,
+        "pycuda.compiler": compiler,
+        "pycuda.gpuarray": gpuarray,
+    }
+
+
+@contextlib.contextmanager
+def fake_runtime() -> Iterator[None]:
+    """Temporarily install the fake numba/cupy/pycuda modules."""
+    fakes = _fake_module_map()
+    saved: dict[str, types.ModuleType | None] = {}
+    for name, module in fakes.items():
+        saved[name] = sys.modules.get(name)
+        sys.modules[name] = module
+    try:
+        yield
+    finally:
+        for name, original in saved.items():
+            if original is None:
+                sys.modules.pop(name, None)
+            else:
+                sys.modules[name] = original
+
+
+def run_python_suggestion(code: str, kernel: str, task: SandboxTask | None = None) -> ExecutionResult:
+    """Execute ``code`` and call its entry function with the kernel's task arguments."""
+    task = task or get_task(kernel)
+    entry = find_entry_function(code, kernel)
+    if entry is None:
+        return ExecutionResult(passed=False, issues=["no callable entry point for the kernel"])
+    namespace: dict[str, Any] = {"__name__": "__suggestion__"}
+    with fake_runtime():
+        try:
+            exec(compile(code, "<suggestion>", "exec"), namespace)  # noqa: S102 - sandboxed corpus code
+        except Exception as exc:  # pragma: no cover - exercised via evaluate
+            return ExecutionResult(passed=False, issues=[f"module execution failed: {exc!r}"])
+        func = namespace.get(entry)
+        if not callable(func):
+            return ExecutionResult(passed=False, issues=[f"entry point {entry!r} is not callable"])
+        try:
+            output = func(*task.fresh_args())
+        except Exception as exc:
+            return ExecutionResult(
+                passed=False, issues=[f"calling {entry}() raised {type(exc).__name__}: {exc}"],
+                entry_point=entry,
+            )
+    return ExecutionResult(passed=True, output=output, entry_point=entry)
+
+
+def evaluate_python_suggestion(code: str, kernel: str) -> ExecutionResult:
+    """Execute a suggestion and compare its output against the oracle."""
+    task = get_task(kernel)
+    result = run_python_suggestion(code, kernel, task)
+    if not result.passed:
+        return result
+    output = result.output
+    if output is None:
+        result.passed = False
+        result.issues.append("function returned None")
+        return result
+    if hasattr(output, "get") and not isinstance(output, (dict, np.ndarray)):
+        # pyCUDA GPUArray-style objects copy back via .get().
+        try:
+            output = output.get()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    comparison = compare_outputs(output, task.expected, rtol=task.rtol, atol=task.atol)
+    result.passed = comparison.passed
+    result.output = output
+    if not comparison.passed:
+        result.issues.append(f"numerical mismatch: {comparison.message}")
+    return result

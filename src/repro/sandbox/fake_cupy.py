@@ -1,0 +1,166 @@
+"""A numpy-backed stand-in for :mod:`cupy`.
+
+``cupy`` mirrors the numpy API on GPU arrays; for correctness evaluation it
+is sufficient to back every "device" array with a host numpy array.  The two
+pieces of genuinely GPU-specific API that the evaluated suggestions use —
+``RawKernel`` and ``ElementwiseKernel`` — are executed with the miniature
+CUDA-C interpreter in :mod:`repro.sandbox.cuda_c`.
+
+Unknown attributes are forwarded to numpy, so the fake covers the long tail
+of ufuncs (``cp.sqrt``, ``cp.sum``...) without enumerating them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as _np
+
+from repro.sandbox.cuda_c import CudaModule
+
+__all__ = [
+    "ndarray",
+    "asarray",
+    "array",
+    "asnumpy",
+    "zeros",
+    "zeros_like",
+    "empty_like",
+    "ones",
+    "dot",
+    "matmul",
+    "RawKernel",
+    "ElementwiseKernel",
+    "float64",
+    "float32",
+    "int32",
+    "int64",
+    "cuda",
+]
+
+ndarray = _np.ndarray
+float64 = _np.float64
+float32 = _np.float32
+int32 = _np.int32
+int64 = _np.int64
+
+
+def asarray(obj: Any, dtype: Any = None) -> _np.ndarray:
+    """Copy host data to the "device" (a fresh numpy array)."""
+    return _np.array(obj, dtype=dtype)
+
+
+def array(obj: Any, dtype: Any = None) -> _np.ndarray:
+    return _np.array(obj, dtype=dtype)
+
+
+def asnumpy(obj: Any) -> _np.ndarray:
+    """Copy "device" data back to the host."""
+    return _np.asarray(obj)
+
+
+def zeros(shape: Any, dtype: Any = _np.float64) -> _np.ndarray:
+    return _np.zeros(shape, dtype=dtype)
+
+
+def zeros_like(a: Any) -> _np.ndarray:
+    return _np.zeros_like(a)
+
+
+def empty_like(a: Any) -> _np.ndarray:
+    return _np.empty_like(a)
+
+
+def ones(shape: Any, dtype: Any = _np.float64) -> _np.ndarray:
+    return _np.ones(shape, dtype=dtype)
+
+
+def dot(a: Any, b: Any) -> Any:
+    return _np.dot(a, b)
+
+
+def matmul(a: Any, b: Any) -> Any:
+    return _np.matmul(a, b)
+
+
+class RawKernel:
+    """cupy.RawKernel backed by the CUDA-C interpreter."""
+
+    def __init__(self, code: str, name: str, **_kwargs: Any):
+        self._module = CudaModule(code)
+        self._kernel = self._module.get_kernel(name)
+        self.name = name
+
+    def __call__(self, grid: tuple, block: tuple, args: tuple, **_kwargs: Any) -> None:
+        self._kernel.launch(grid, block, tuple(args))
+
+
+class ElementwiseKernel:
+    """cupy.ElementwiseKernel: applies a scalar C expression element-wise.
+
+    Only the common ``out = <expression of inputs>`` form is supported, which
+    covers the AXPY-style uses that appear in generated code.
+    """
+
+    def __init__(self, in_params: str, out_params: str, operation: str, name: str = "kernel",
+                 **_kwargs: Any):
+        self.in_names = [p.split()[-1] for p in in_params.split(",") if p.strip()]
+        self.out_names = [p.split()[-1] for p in out_params.split(",") if p.strip()]
+        self.operation = operation
+        self.name = name
+
+    def __call__(self, *arrays: Any) -> _np.ndarray:
+        values = [_np.asarray(a, dtype=_np.float64) for a in arrays]
+        names = self.in_names + self.out_names
+        if len(values) < len(self.in_names):
+            raise TypeError(f"{self.name} expects at least {len(self.in_names)} arguments")
+        shape = values[0].shape if values else ()
+        env = {name: values[idx] if idx < len(values) else _np.zeros(shape)
+               for idx, name in enumerate(names)}
+        out_name = self.out_names[0] if self.out_names else "out"
+        out = env.get(out_name)
+        if out is None or out.shape != shape:
+            out = _np.zeros(shape)
+            env[out_name] = out
+        statement = self.operation.strip().rstrip(";")
+        lhs, _, rhs = statement.partition("=")
+        expression = rhs.strip() if rhs else statement
+        result = eval(expression, {"__builtins__": {}}, env)  # noqa: S307 - sandboxed arithmetic
+        out[...] = result
+        return out
+
+
+class _FakeCudaNamespace:
+    """Minimal ``cupy.cuda`` namespace (stream synchronisation no-ops)."""
+
+    class Device:
+        def __init__(self, _id: int = 0):
+            self.id = _id
+
+        def synchronize(self) -> None:
+            return None
+
+    class Stream:
+        null = None
+
+        def synchronize(self) -> None:
+            return None
+
+    @staticmethod
+    def get_current_stream() -> "Any":
+        class _Stream:
+            @staticmethod
+            def synchronize() -> None:
+                return None
+
+        return _Stream()
+
+
+cuda = _FakeCudaNamespace()
+
+
+def __getattr__(name: str) -> Any:
+    """Fall back to numpy for the long tail of array-API functions."""
+    if hasattr(_np, name):
+        return getattr(_np, name)
+    raise AttributeError(f"fake cupy has no attribute {name!r}")

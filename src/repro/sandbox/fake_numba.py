@@ -1,0 +1,107 @@
+"""A no-op stand-in for :mod:`numba`.
+
+Numba's JIT decorators compile numerically identical code, so for correctness
+evaluation it is sufficient to run the undecorated Python function with
+``prange`` aliased to ``range``.  The ``cuda`` attribute provides the small
+surface (``@cuda.jit``, ``cuda.grid``) that GPU-flavoured Numba suggestions
+touch; kernels decorated with ``@cuda.jit`` must be launched with explicit
+grid/block configuration, which the fake implements by looping over the
+flattened thread index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["jit", "njit", "prange", "vectorize", "float64", "int32", "int64", "cuda"]
+
+prange = range
+float64 = float
+int32 = int
+int64 = int
+
+
+def _decorator_factory(*dargs: Any, **dkwargs: Any) -> Callable:
+    """Behave like ``@njit`` and ``@njit(...)`` simultaneously."""
+    if len(dargs) == 1 and callable(dargs[0]) and not dkwargs:
+        return dargs[0]
+
+    def decorate(func: Callable) -> Callable:
+        return func
+
+    return decorate
+
+
+jit = _decorator_factory
+njit = _decorator_factory
+vectorize = _decorator_factory
+
+
+class _FakeCudaKernel:
+    """Callable returned by ``@cuda.jit`` supporting ``kernel[grid, block](...)``."""
+
+    def __init__(self, func: Callable):
+        self.func = func
+        self._grid = 1
+        self._block = 1
+
+    def __getitem__(self, config: tuple) -> "_FakeCudaKernel":
+        grid, block = config
+        clone = _FakeCudaKernel(self.func)
+        clone._grid = grid
+        clone._block = block
+        return clone
+
+    def __call__(self, *args: Any) -> None:
+        total = _dim_total(self._grid) * _dim_total(self._block)
+        for thread_id in range(total):
+            _CURRENT_THREAD["id"] = thread_id
+            self.func(*args)
+        _CURRENT_THREAD["id"] = 0
+
+
+def _dim_total(dim: Any) -> int:
+    if isinstance(dim, int):
+        return dim
+    out = 1
+    for v in dim:
+        out *= int(v)
+    return out
+
+
+_CURRENT_THREAD = {"id": 0}
+
+
+class _FakeCuda:
+    """The ``numba.cuda`` namespace."""
+
+    @staticmethod
+    def jit(*dargs: Any, **dkwargs: Any) -> Callable:
+        if len(dargs) == 1 and callable(dargs[0]) and not dkwargs:
+            return _FakeCudaKernel(dargs[0])
+
+        def decorate(func: Callable) -> _FakeCudaKernel:
+            return _FakeCudaKernel(func)
+
+        return decorate
+
+    @staticmethod
+    def grid(ndim: int) -> int | tuple[int, ...]:
+        if ndim == 1:
+            return _CURRENT_THREAD["id"]
+        return tuple([_CURRENT_THREAD["id"]] + [0] * (ndim - 1))
+
+    @staticmethod
+    def to_device(array: Any) -> Any:
+        return array
+
+    @staticmethod
+    def synchronize() -> None:
+        return None
+
+    @staticmethod
+    def is_available() -> bool:
+        return True
+
+
+cuda = _FakeCuda()

@@ -1,0 +1,18 @@
+"""A stand-in for :mod:`pycuda` backed by the miniature CUDA-C interpreter.
+
+The sub-modules mirror the parts of pyCUDA that generated kernels touch:
+
+* :mod:`repro.sandbox.fake_pycuda.autoinit` — context initialisation (no-op),
+* :mod:`repro.sandbox.fake_pycuda.driver` — ``In``/``Out``/``InOut`` argument
+  wrappers and memory helpers,
+* :mod:`repro.sandbox.fake_pycuda.compiler` — ``SourceModule`` compiling CUDA
+  C through :mod:`repro.sandbox.cuda_c`,
+* :mod:`repro.sandbox.fake_pycuda.gpuarray` — ``GPUArray`` with ``to_gpu`` /
+  ``get``.
+"""
+
+from __future__ import annotations
+
+from repro.sandbox.fake_pycuda import autoinit, compiler, driver, gpuarray
+
+__all__ = ["autoinit", "compiler", "driver", "gpuarray"]

@@ -1,0 +1,17 @@
+"""pycuda.autoinit stand-in: importing it "initialises the device"."""
+
+from __future__ import annotations
+
+
+class _FakeDevice:
+    """Just enough of pycuda.driver.Device for introspection calls."""
+
+    def name(self) -> str:  # pragma: no cover - cosmetic
+        return "Simulated CUDA Device"
+
+    def compute_capability(self) -> tuple[int, int]:  # pragma: no cover - cosmetic
+        return (8, 0)
+
+
+device = _FakeDevice()
+context = None

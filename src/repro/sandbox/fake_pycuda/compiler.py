@@ -1,0 +1,44 @@
+"""pycuda.compiler stand-in: SourceModule on top of the CUDA-C interpreter."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.sandbox.cuda_c import CudaModule
+from repro.sandbox.fake_pycuda.driver import DeviceAllocation, _ArgumentWrapper
+
+__all__ = ["SourceModule"]
+
+
+class _CompiledKernel:
+    """Callable returned by ``SourceModule.get_function``."""
+
+    def __init__(self, module: CudaModule, name: str):
+        self._kernel = module.get_kernel(name)
+        self.name = name
+
+    def __call__(self, *args: Any, block: tuple = (1, 1, 1), grid: tuple = (1, 1), **_kw: Any) -> None:
+        unwrapped = tuple(self._unwrap(arg) for arg in args)
+        self._kernel.launch(grid, block, unwrapped)
+
+    @staticmethod
+    def _unwrap(arg: Any) -> Any:
+        if isinstance(arg, _ArgumentWrapper):
+            return arg.device_view()
+        if isinstance(arg, DeviceAllocation):
+            return arg.buffer
+        if isinstance(arg, np.generic):
+            return arg.item()
+        return arg
+
+
+class SourceModule:
+    """Compile CUDA-C source with the miniature interpreter."""
+
+    def __init__(self, source: str, **_options: Any):
+        self._module = CudaModule(source)
+
+    def get_function(self, name: str) -> _CompiledKernel:
+        return _CompiledKernel(self._module, name)

@@ -1,0 +1,60 @@
+"""pycuda.driver stand-in: argument wrappers and memory helpers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["In", "Out", "InOut", "mem_alloc", "memcpy_htod", "memcpy_dtoh", "DeviceAllocation"]
+
+
+class _ArgumentWrapper:
+    """Base class for ``drv.In``/``drv.Out``/``drv.InOut`` wrappers.
+
+    The wrapped numpy array *is* the device buffer in the simulation, so
+    kernels write straight into the caller's array, matching pyCUDA's
+    copy-back semantics for ``Out``/``InOut``.
+    """
+
+    direction = "inout"
+
+    def __init__(self, array: Any):
+        self.array = np.asarray(array)
+
+    def device_view(self) -> np.ndarray:
+        return self.array
+
+
+class In(_ArgumentWrapper):
+    direction = "in"
+
+
+class Out(_ArgumentWrapper):
+    direction = "out"
+
+
+class InOut(_ArgumentWrapper):
+    direction = "inout"
+
+
+class DeviceAllocation:
+    """Result of ``mem_alloc``: a named chunk of simulated device memory."""
+
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+        self.buffer = np.zeros(nbytes // 8 or 1, dtype=np.float64)
+
+
+def mem_alloc(nbytes: int) -> DeviceAllocation:
+    return DeviceAllocation(int(nbytes))
+
+
+def memcpy_htod(dest: DeviceAllocation, src: np.ndarray) -> None:
+    flat = np.asarray(src, dtype=np.float64).reshape(-1)
+    dest.buffer = flat.copy()
+
+
+def memcpy_dtoh(dest: np.ndarray, src: DeviceAllocation) -> None:
+    flat = np.asarray(dest).reshape(-1)
+    flat[: src.buffer.size] = src.buffer[: flat.size]

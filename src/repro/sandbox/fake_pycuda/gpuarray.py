@@ -1,0 +1,54 @@
+"""pycuda.gpuarray stand-in."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["GPUArray", "to_gpu", "zeros", "empty"]
+
+
+class GPUArray:
+    """A device array backed by a host numpy array."""
+
+    def __init__(self, data: np.ndarray):
+        self._data = np.asarray(data)
+
+    def get(self) -> np.ndarray:
+        """Copy the array back to the host."""
+        return self._data.copy()
+
+    @property
+    def gpudata(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self._data.size)
+
+    def __array__(self, dtype: Any = None) -> np.ndarray:
+        return np.asarray(self._data, dtype=dtype)
+
+    def __len__(self) -> int:  # pragma: no cover - convenience
+        return len(self._data)
+
+
+def to_gpu(array: Any) -> GPUArray:
+    return GPUArray(np.array(array))
+
+
+def zeros(shape: Any, dtype: Any = np.float64) -> GPUArray:
+    return GPUArray(np.zeros(shape, dtype=dtype))
+
+
+def empty(shape: Any, dtype: Any = np.float64) -> GPUArray:
+    return GPUArray(np.empty(shape, dtype=dtype))

@@ -1,0 +1,139 @@
+"""Canonical evaluation tasks for executable (Python) suggestions.
+
+A :class:`SandboxTask` fixes, for each kernel, the concrete arguments a
+candidate function is called with and the oracle output it must reproduce.
+The argument sets use the *simple* form of each kernel (``y = A x`` rather
+than the full ``alpha``/``beta`` BLAS form) because that is the form the
+prompt "``<kernel>`` ``<model>`` ``def``" asks for and the form the
+templates and real Copilot suggestions produce.
+
+Problem sizes are deliberately small: the evaluation measures correctness,
+not throughput, and the pyCUDA/cuPy suggestions run on an interpreted
+simulated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels.jacobi import jacobi3d_step
+from repro.kernels.sparse import poisson_2d
+
+__all__ = ["SandboxTask", "get_task", "TASK_SEED"]
+
+#: Base seed for the sandbox problem data (start of the paper's data window).
+TASK_SEED = 20230414
+
+
+@dataclass(frozen=True)
+class SandboxTask:
+    """A concrete call the sandbox makes against a candidate function."""
+
+    kernel: str
+    #: Positional arguments handed to the candidate callable.
+    args: tuple
+    #: Oracle output the candidate must reproduce.
+    expected: np.ndarray
+    #: Relative tolerance for the comparison.
+    rtol: float = 1e-8
+    #: Absolute tolerance for the comparison.
+    atol: float = 1e-10
+
+    def fresh_args(self) -> tuple:
+        """Copies of the arguments, safe to hand to untrusted code."""
+        out = []
+        for arg in self.args:
+            out.append(arg.copy() if isinstance(arg, np.ndarray) else arg)
+        return tuple(out)
+
+
+def _rng(kernel: str) -> np.random.Generator:
+    return np.random.default_rng([TASK_SEED, sum(ord(c) for c in kernel)])
+
+
+_BUILDERS: dict[str, Callable[[], SandboxTask]] = {}
+
+
+def _register(name: str) -> Callable[[Callable[[], SandboxTask]], Callable[[], SandboxTask]]:
+    def wrap(func: Callable[[], SandboxTask]) -> Callable[[], SandboxTask]:
+        _BUILDERS[name] = func
+        return func
+
+    return wrap
+
+
+@_register("axpy")
+def _axpy_task() -> SandboxTask:
+    rng = _rng("axpy")
+    n = 64
+    a = 1.5
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    return SandboxTask(kernel="axpy", args=(a, x, y), expected=a * x + y)
+
+
+@_register("gemv")
+def _gemv_task() -> SandboxTask:
+    rng = _rng("gemv")
+    m, n = 12, 9
+    a = rng.standard_normal((m, n))
+    x = rng.standard_normal(n)
+    return SandboxTask(kernel="gemv", args=(a, x), expected=a @ x)
+
+
+@_register("gemm")
+def _gemm_task() -> SandboxTask:
+    rng = _rng("gemm")
+    m, k, n = 8, 6, 7
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    return SandboxTask(kernel="gemm", args=(a, b), expected=a @ b)
+
+
+@_register("spmv")
+def _spmv_task() -> SandboxTask:
+    rng = _rng("spmv")
+    matrix = poisson_2d(4)  # 16 x 16, 64 non-zeros
+    x = rng.standard_normal(matrix.n_cols)
+    expected = matrix.matvec(x)
+    return SandboxTask(
+        kernel="spmv",
+        args=(matrix.indptr.copy(), matrix.indices.copy(), matrix.data.copy(), x),
+        expected=expected,
+    )
+
+
+@_register("jacobi")
+def _jacobi_task() -> SandboxTask:
+    rng = _rng("jacobi")
+    n = 6
+    u = rng.standard_normal((n, n, n))
+    expected = jacobi3d_step(u, None, 1.0)
+    return SandboxTask(kernel="jacobi", args=(u,), expected=expected)
+
+
+@_register("cg")
+def _cg_task() -> SandboxTask:
+    rng = _rng("cg")
+    n = 10
+    m = rng.standard_normal((n, n))
+    a = m @ m.T + n * np.eye(n)
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    return SandboxTask(kernel="cg", args=(a, b), expected=x_true, rtol=1e-5, atol=1e-6)
+
+
+_CACHE: dict[str, SandboxTask] = {}
+
+
+def get_task(kernel: str) -> SandboxTask:
+    """The (cached, deterministic) sandbox task for ``kernel``."""
+    key = kernel.strip().lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"no sandbox task for kernel {kernel!r}; known: {', '.join(_BUILDERS)}")
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[key]()
+    return _CACHE[key]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the default corpus, the analyzer with its verdict cache,
+and a full evaluation grid run) are session-scoped so the several hundred
+tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.analyzer import SuggestionAnalyzer
+from repro.codex.config import CodexConfig, DEFAULT_SEED
+from repro.codex.engine import SimulatedCodex
+from repro.core.evaluator import PromptEvaluator
+from repro.core.runner import EvaluationRunner, ResultSet
+from repro.corpus.store import CorpusStore, build_default_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus() -> CorpusStore:
+    """The default corpus (templates + mutated variants)."""
+    return build_default_corpus()
+
+
+@pytest.fixture(scope="session")
+def analyzer() -> SuggestionAnalyzer:
+    """A shared analyzer instance (its verdict cache is reused across tests)."""
+    return SuggestionAnalyzer()
+
+
+@pytest.fixture(scope="session")
+def engine() -> SimulatedCodex:
+    """A deterministic simulated Codex engine with the default seed."""
+    return SimulatedCodex(seed=DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def evaluator(engine: SimulatedCodex, analyzer: SuggestionAnalyzer) -> PromptEvaluator:
+    return PromptEvaluator(engine=engine, analyzer=analyzer)
+
+
+@pytest.fixture(scope="session")
+def full_results(evaluator: PromptEvaluator) -> ResultSet:
+    """The full Table 1 grid evaluated once for the whole session."""
+    runner = EvaluationRunner(config=CodexConfig(), seed=DEFAULT_SEED, evaluator=evaluator)
+    return runner.run_full_grid()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,183 @@
+"""Tests for the harness: experiments, tables, figures, IO and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.cli import build_parser, main
+from repro.harness.figures import (
+    FIGURE_LANGUAGES,
+    figure_data,
+    overall_figure_data,
+    paper_figure_data,
+    paper_overall_figure_data,
+    render_figure,
+    render_overall_figure,
+)
+from repro.harness.io import load_records_json, save_records_csv, save_records_json
+from repro.harness.tables import render_language_table, table_rows
+from repro.kernels.registry import KERNEL_NAMES
+from repro.models.languages import language_names
+
+
+class TestTablesRendering:
+    def test_table_rows_shape(self, full_results):
+        rows = table_rows(full_results, "cpp", use_postfix=False)
+        assert len(rows) == 8
+        assert all(len(row) == 1 + len(KERNEL_NAMES) for row in rows)
+
+    def test_cells_show_repro_and_paper_values(self, full_results):
+        rows = table_rows(full_results, "fortran", use_postfix=True, include_paper=True)
+        assert all("/" in cell for row in rows for cell in row[1:])
+
+    def test_render_language_table_contains_both_halves(self, full_results):
+        text = render_language_table(full_results, "python")
+        assert "Prefix <kernel>" in text
+        assert "Post fix 'def'" in text
+        assert "numpy" in text
+
+    def test_julia_table_has_single_half(self, full_results):
+        text = render_language_table(full_results, "julia")
+        assert "Post fix" not in text
+
+
+class TestFiguresRendering:
+    def test_figure_data_panels(self, full_results):
+        data = figure_data(full_results, "cpp")
+        assert tuple(data["kernels"]) == KERNEL_NAMES
+        assert len(data["models"]) == 8
+
+    def test_paper_figure_data_matches_table_means(self):
+        data = paper_figure_data("julia")
+        assert data["kernels"]["axpy"] == pytest.approx((0.75 + 0.75 + 0.0 + 0.25) / 4)
+
+    def test_render_figure_includes_paper_panel(self, full_results):
+        text = render_figure(full_results, "fortran")
+        assert "(paper) per kernel" in text
+        assert "Fortran: average score per kernel" in text
+
+    def test_overall_figure(self, full_results):
+        data = overall_figure_data(full_results)
+        assert set(data["languages"]) == set(language_names())
+        reference = paper_overall_figure_data()
+        assert reference["kernels"]["axpy"] > reference["kernels"]["cg"]
+        text = render_overall_figure(full_results)
+        assert "Overall: average score per language" in text
+
+    def test_figure_language_mapping(self):
+        assert FIGURE_LANGUAGES == {2: "cpp", 3: "fortran", 4: "python", 5: "julia"}
+
+
+class TestExperiments:
+    def test_run_table_reports(self):
+        report = experiments.run_table(5)
+        assert report.experiment_id == "table5"
+        assert report.comparison is not None
+        assert "Julia" in report.text
+        assert "rho=" in report.summary_line()
+
+    def test_run_table_unknown_number(self):
+        with pytest.raises(KeyError):
+            experiments.run_table(7)
+
+    def test_run_figure_reports(self):
+        report = experiments.run_figure(3)
+        assert report.experiment_id == "figure3"
+        assert "kernels" in report.data
+        assert report.comparison is not None
+
+    def test_run_figure6(self):
+        report = experiments.run_figure(6)
+        assert report.experiment_id == "figure6"
+        assert set(report.data["languages"]) == set(language_names())
+        assert report.summary_line().endswith("done")
+
+    def test_run_figure_unknown_number(self):
+        with pytest.raises(KeyError):
+            experiments.run_figure(9)
+
+    def test_language_results_are_cached(self):
+        first = experiments.run_language_results("julia")
+        second = experiments.run_language_results("julia")
+        assert first is second
+
+    def test_keyword_ablation(self):
+        report = experiments.run_keyword_ablation()
+        effects = report.data["effects"]
+        assert effects["fortran"]["delta"] > 0
+        assert effects["python"]["delta"] > 0
+        assert "Fortran" in report.text
+
+    def test_suggestion_count_ablation_scores_bounded(self):
+        report = experiments.run_suggestion_count_ablation(counts=(1, 10))
+        means = report.data["means"]
+        assert set(means) == {1, 10}
+        assert all(0.0 <= v <= 1.0 for v in means.values())
+
+    def test_maturity_ablation_keeps_openmp_on_top(self):
+        report = experiments.run_maturity_ablation(scales=(0.75, 1.0))
+        assert all(report.data["openmp_in_top3"].values())
+
+    def test_full_grid_size_helper(self):
+        assert experiments.full_grid_size() == 204
+
+
+class TestIo:
+    def test_csv_roundtrip(self, full_results, tmp_path):
+        path = save_records_csv(full_results, tmp_path / "results.csv")
+        content = path.read_text().splitlines()
+        assert content[0].startswith("language,model,kernel")
+        assert len(content) == len(full_results) + 1
+
+    def test_json_roundtrip(self, full_results, tmp_path):
+        path = save_records_json(full_results, tmp_path / "results.json")
+        records = load_records_json(path)
+        assert len(records) == len(full_results)
+        assert {"language", "model", "kernel", "score"} <= set(records[0])
+        assert json.loads(path.read_text())
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table", "2"])
+        assert args.command == "table" and args.number == 2
+        args = parser.parse_args(["--seed", "5", "prompt", "axpy", "cpp.openmp", "--keyword"])
+        assert args.seed == 5 and args.keyword
+
+    def test_cli_table(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Python" in out and "numpy" in out
+
+    def test_cli_figure(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Julia" in out
+
+    def test_cli_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "rank-correlation" in out
+        assert "C++" in out
+
+    def test_cli_ablation(self, capsys):
+        assert main(["ablation", "keywords"]) == 0
+        assert "Keyword post-fix effect" in capsys.readouterr().out
+
+    def test_cli_prompt(self, capsys):
+        assert main(["prompt", "axpy", "python.numpy", "--keyword"]) == 0
+        out = capsys.readouterr().out
+        assert "axpy.py" in out
+        assert "suggestion 1" in out
+
+    def test_cli_run_writes_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "cells.csv"
+        json_path = tmp_path / "cells.json"
+        assert main(["run", "--csv", str(csv_path), "--json", str(json_path)]) == 0
+        assert csv_path.exists() and json_path.exists()
+        out = capsys.readouterr().out
+        assert "Overall: average score per kernel" in out

@@ -1,0 +1,156 @@
+"""Tests for the kernel registry, problem suite and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.base import KernelComplexity
+from repro.kernels.problems import ProblemSuite, default_sizes, make_problem
+from repro.kernels.registry import (
+    KERNEL_NAMES,
+    all_kernels,
+    find_kernel,
+    get_kernel,
+    kernel_complexity_order,
+)
+from repro.kernels.validation import allclose, compare_outputs, max_abs_error, relative_error
+
+
+class TestRegistry:
+    def test_canonical_order(self):
+        assert KERNEL_NAMES == ("axpy", "gemv", "gemm", "spmv", "jacobi", "cg")
+
+    def test_complexity_order_matches_canonical_order(self):
+        assert kernel_complexity_order() == KERNEL_NAMES
+
+    def test_all_kernels_have_distinct_complexities(self):
+        complexities = [k.spec.complexity for k in all_kernels()]
+        assert len(set(complexities)) == len(complexities)
+        assert complexities == sorted(complexities)
+
+    def test_get_kernel_case_insensitive(self):
+        assert get_kernel("AXPY").spec.name == "axpy"
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(KeyError):
+            get_kernel("fft")
+
+    def test_find_kernel_by_synonym(self):
+        assert find_kernel("conjugate gradient").spec.name == "cg"
+        assert find_kernel("matrix multiply").spec.name == "gemm"
+        assert find_kernel("sparse matvec").spec.name == "spmv"
+        assert find_kernel("unknown thing") is None
+
+    def test_cg_is_hardest(self):
+        assert get_kernel("cg").spec.complexity is KernelComplexity.MULTIKERNEL
+        assert get_kernel("cg").spec.num_subkernels > get_kernel("axpy").spec.num_subkernels
+
+
+class TestProblemSuite:
+    def test_default_sizes_exist_for_every_kernel(self):
+        for name in KERNEL_NAMES:
+            sizes = default_sizes(name)
+            assert len(sizes) >= 2
+            assert all(s > 0 for s in sizes)
+
+    def test_default_sizes_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            default_sizes("nope")
+
+    def test_make_problem_is_deterministic(self):
+        a = make_problem("gemv", 16, seed=7)
+        b = make_problem("gemv", 16, seed=7)
+        np.testing.assert_array_equal(a.inputs["A"], b.inputs["A"])
+        np.testing.assert_array_equal(a.expected, b.expected)
+
+    def test_make_problem_seed_changes_data(self):
+        a = make_problem("axpy", 16, seed=1)
+        b = make_problem("axpy", 16, seed=2)
+        assert not np.array_equal(a.inputs["x"], b.inputs["x"])
+
+    def test_iter_all_covers_every_kernel(self):
+        suite = ProblemSuite()
+        names = {name for name, _ in suite.iter_all()}
+        assert names == set(KERNEL_NAMES)
+
+    def test_size_override(self):
+        suite = ProblemSuite(sizes={"axpy": (4,)})
+        assert suite.sizes_for("axpy") == (4,)
+        problems = suite.problems_for("axpy")
+        assert len(problems) == 1
+        assert problems[0].size == 4
+
+    def test_smallest_problem(self):
+        suite = ProblemSuite()
+        assert suite.smallest_problem("gemm").size == min(default_sizes("gemm"))
+
+    def test_copy_inputs_protects_oracle_data(self):
+        problem = make_problem("axpy", 8)
+        copies = problem.copy_inputs()
+        copies["x"][:] = 0.0
+        assert not np.array_equal(copies["x"], problem.inputs["x"])
+
+
+class TestValidation:
+    def test_allclose_accepts_equal_arrays(self, rng):
+        x = rng.standard_normal(10)
+        assert allclose(x, x.copy())
+
+    def test_allclose_rejects_different_arrays(self, rng):
+        x = rng.standard_normal(10)
+        assert not allclose(x, x + 1.0)
+
+    def test_shape_mismatch_is_reported(self):
+        result = compare_outputs(np.zeros(3), np.zeros(4))
+        assert not result.passed
+        assert "shape mismatch" in result.message
+
+    def test_trivial_shape_difference_is_tolerated(self):
+        result = compare_outputs(np.zeros((3, 1)), np.zeros(3))
+        assert result.passed
+
+    def test_non_numeric_candidate(self):
+        result = compare_outputs("not numbers", np.zeros(3))
+        assert not result.passed
+        assert "not numeric" in result.message
+
+    def test_nan_candidate_rejected(self):
+        result = compare_outputs(np.array([np.nan, 0.0]), np.zeros(2))
+        assert not result.passed
+        assert "NaN" in result.message
+
+    def test_none_candidate_rejected(self):
+        assert not compare_outputs(None, np.zeros(2)).passed
+
+    def test_malformed_oracle_raises(self):
+        with pytest.raises(ValueError):
+            compare_outputs(np.zeros(2), "oracle?")
+
+    def test_scalar_comparison(self):
+        assert compare_outputs(1.0, 1.0 + 1e-14).passed
+        assert not compare_outputs(1.0, 2.0).passed
+
+    def test_list_inputs_are_accepted(self):
+        assert compare_outputs([1.0, 2.0], np.array([1.0, 2.0])).passed
+
+    def test_relative_error_values(self):
+        assert relative_error(np.array([2.0]), np.array([1.0])) == pytest.approx(1.0)
+        assert relative_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert relative_error(np.zeros(2), np.zeros(3)) == float("inf")
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 5.0]), np.array([1.0, 2.0])) == 3.0
+        assert max_abs_error(np.array([]), np.array([])) == 0.0
+
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=30),
+        scale=st.floats(1e-13, 1e-11),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_small_perturbations_pass(self, values, scale):
+        x = np.asarray(values, dtype=np.float64)
+        perturbed = x * (1.0 + scale)
+        assert compare_outputs(perturbed, x, rtol=1e-9, atol=1e-9).passed

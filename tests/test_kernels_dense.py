@@ -1,0 +1,182 @@
+"""Tests for the dense kernels: AXPY, GEMV, GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kernels.axpy import AxpyKernel, axpy, axpy_inplace
+from repro.kernels.base import KernelComplexity
+from repro.kernels.gemm import GemmKernel, gemm, gemm_blocked
+from repro.kernels.gemv import GemvKernel, gemv
+
+
+class TestAxpyFunction:
+    def test_matches_numpy_expression(self, rng):
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        np.testing.assert_allclose(axpy(2.5, x, y), 2.5 * x + y)
+
+    def test_does_not_mutate_inputs(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        y_copy = y.copy()
+        axpy(1.0, x, y)
+        np.testing.assert_array_equal(y, y_copy)
+
+    def test_inplace_variant_mutates_y(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        expected = 3.0 * x + y
+        result = axpy_inplace(3.0, x, y)
+        assert result is y
+        np.testing.assert_allclose(y, expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            axpy(1.0, np.zeros(3), np.zeros(4))
+
+    def test_zero_scalar_returns_y(self, rng):
+        x = rng.standard_normal(8)
+        y = rng.standard_normal(8)
+        np.testing.assert_allclose(axpy(0.0, x, y), y)
+
+    @given(
+        a=st.floats(-10, 10, allow_nan=False),
+        x=arrays(np.float64, st.integers(1, 50), elements=st.floats(-1e3, 1e3)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_reference(self, a, x):
+        y = np.ones_like(x)
+        np.testing.assert_allclose(axpy(a, x, y), a * x + y, rtol=1e-12, atol=1e-9)
+
+
+class TestAxpyKernelClass:
+    kernel = AxpyKernel()
+
+    def test_spec(self):
+        assert self.kernel.spec.name == "axpy"
+        assert self.kernel.spec.complexity is KernelComplexity.TRIVIAL
+
+    def test_problem_roundtrip(self):
+        problem = self.kernel.generate_problem(32)
+        result = self.kernel.reference(problem.inputs)
+        assert self.kernel.validate(result, problem).passed
+
+    def test_validation_rejects_wrong_result(self):
+        problem = self.kernel.generate_problem(16)
+        wrong = problem.expected + 1.0
+        assert not self.kernel.validate(wrong, problem).passed
+
+    def test_problem_size_validation(self):
+        with pytest.raises(ValueError):
+            self.kernel.generate_problem(0)
+
+    def test_matches_token_synonyms(self):
+        assert self.kernel.spec.matches_token("daxpy")
+        assert self.kernel.spec.matches_token("AXPY")
+        assert not self.kernel.spec.matches_token("gemv")
+
+
+class TestGemv:
+    kernel = GemvKernel()
+
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((7, 5))
+        x = rng.standard_normal(5)
+        y = rng.standard_normal(7)
+        expected = 1.5 * a @ x + 0.5 * y
+        np.testing.assert_allclose(gemv(1.5, a, x, 0.5, y), expected)
+
+    def test_beta_zero_ignores_y(self, rng):
+        a = rng.standard_normal((4, 3))
+        x = rng.standard_normal(3)
+        np.testing.assert_allclose(gemv(2.0, a, x), 2.0 * a @ x)
+
+    def test_beta_nonzero_requires_y(self, rng):
+        a = rng.standard_normal((4, 3))
+        x = rng.standard_normal(3)
+        with pytest.raises(ValueError):
+            gemv(1.0, a, x, 0.5, None)
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            gemv(1.0, rng.standard_normal((4, 3)), rng.standard_normal(4))
+
+    def test_rejects_non_2d_matrix(self, rng):
+        with pytest.raises(ValueError):
+            gemv(1.0, rng.standard_normal(4), rng.standard_normal(4))
+
+    def test_problem_roundtrip(self):
+        problem = self.kernel.make_problem_with_expected(20)
+        assert self.kernel.validate(self.kernel.reference(problem.inputs), problem).passed
+
+    def test_complexity_class(self):
+        assert self.kernel.spec.complexity is KernelComplexity.SIMPLE
+
+    @given(m=st.integers(1, 12), n=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_shapes(self, m, n):
+        rng = np.random.default_rng(m * 100 + n)
+        a = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        result = gemv(1.0, a, x)
+        assert result.shape == (m,)
+        np.testing.assert_allclose(result, a @ x)
+
+
+class TestGemm:
+    kernel = GemmKernel()
+
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 5))
+        c = rng.standard_normal((6, 5))
+        expected = 2.0 * a @ b + 0.25 * c
+        np.testing.assert_allclose(gemm(2.0, a, b, 0.25, c), expected)
+
+    def test_inner_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            gemm(1.0, rng.standard_normal((3, 4)), rng.standard_normal((5, 2)))
+
+    def test_beta_requires_c(self, rng):
+        with pytest.raises(ValueError):
+            gemm(1.0, rng.standard_normal((3, 4)), rng.standard_normal((4, 2)), 0.5, None)
+
+    def test_wrong_c_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            gemm(1.0, rng.standard_normal((3, 4)), rng.standard_normal((4, 2)), 1.0,
+                 rng.standard_normal((2, 2)))
+
+    def test_blocked_variant_matches(self, rng):
+        a = rng.standard_normal((70, 50))
+        b = rng.standard_normal((50, 60))
+        c = rng.standard_normal((70, 60))
+        np.testing.assert_allclose(
+            gemm_blocked(1.2, a, b, 0.3, c, block=16),
+            gemm(1.2, a, b, 0.3, c),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_blocked_variant_requires_matching_inner_dims(self, rng):
+        with pytest.raises(ValueError):
+            gemm_blocked(1.0, rng.standard_normal((4, 3)), rng.standard_normal((4, 3)))
+
+    def test_problem_roundtrip(self):
+        problem = self.kernel.make_problem_with_expected(12)
+        assert self.kernel.validate(self.kernel.reference(problem.inputs), problem).passed
+
+    def test_complexity_class(self):
+        assert self.kernel.spec.complexity is KernelComplexity.MODERATE
+
+    @given(m=st.integers(1, 8), k=st.integers(1, 8), n=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_matmul(self, m, k, n):
+        rng = np.random.default_rng(m * 121 + k * 11 + n)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        np.testing.assert_allclose(gemm(1.0, a, b), a @ b, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,190 @@
+"""Tests for the Jacobi stencil and the CG solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.base import KernelComplexity
+from repro.kernels.cg import CgKernel, conjugate_gradient
+from repro.kernels.jacobi import JacobiKernel, jacobi2d_step, jacobi3d_solve, jacobi3d_step
+from repro.kernels.sparse import poisson_2d
+
+
+class TestJacobiStep:
+    def test_interior_update_formula(self):
+        u = np.zeros((3, 3, 3))
+        u[0, 1, 1] = 6.0  # single neighbour contributes 6/6 = 1 to the centre
+        result = jacobi3d_step(u)
+        assert result[1, 1, 1] == pytest.approx(1.0)
+
+    def test_boundary_preserved(self, rng):
+        u = rng.standard_normal((5, 5, 5))
+        result = jacobi3d_step(u)
+        np.testing.assert_array_equal(result[0], u[0])
+        np.testing.assert_array_equal(result[-1], u[-1])
+        np.testing.assert_array_equal(result[:, 0, :], u[:, 0, :])
+
+    def test_rhs_term(self):
+        u = np.zeros((3, 3, 3))
+        f = np.zeros((3, 3, 3))
+        f[1, 1, 1] = 6.0
+        result = jacobi3d_step(u, f, h=1.0)
+        assert result[1, 1, 1] == pytest.approx(1.0)
+
+    def test_small_grid_returns_copy(self):
+        u = np.ones((2, 2, 2))
+        result = jacobi3d_step(u)
+        np.testing.assert_array_equal(result, u)
+        assert result is not u
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            jacobi3d_step(np.zeros((3, 3)))
+
+    def test_rhs_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            jacobi3d_step(np.zeros((3, 3, 3)), np.zeros((4, 4, 4)))
+
+    def test_constant_field_is_fixed_point(self):
+        u = np.full((5, 5, 5), 3.25)
+        np.testing.assert_allclose(jacobi3d_step(u), u)
+
+    def test_2d_variant(self):
+        u = np.zeros((3, 3))
+        u[0, 1] = 4.0
+        result = jacobi2d_step(u)
+        assert result[1, 1] == pytest.approx(1.0)
+
+    def test_2d_requires_2d(self):
+        with pytest.raises(ValueError):
+            jacobi2d_step(np.zeros((3, 3, 3)))
+
+    @given(n=st.integers(3, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_property_max_principle(self, n):
+        """A Jacobi sweep never creates new extrema in the interior."""
+        rng = np.random.default_rng(n)
+        u = rng.standard_normal((n, n, n))
+        result = jacobi3d_step(u)
+        assert result[1:-1, 1:-1, 1:-1].max() <= u.max() + 1e-12
+        assert result[1:-1, 1:-1, 1:-1].min() >= u.min() - 1e-12
+
+
+class TestJacobiSolve:
+    def test_smoothing_reduces_update_norm(self, rng):
+        u = rng.standard_normal((8, 8, 8))
+        _, iterations, norm = jacobi3d_solve(u, max_iterations=50, tol=0.0)
+        assert iterations == 50
+        _, _, early_norm = jacobi3d_solve(u, max_iterations=5, tol=0.0)
+        assert norm <= early_norm
+
+    def test_tolerance_stops_early(self):
+        u = np.zeros((6, 6, 6))
+        _, iterations, norm = jacobi3d_solve(u, max_iterations=100, tol=1e-12)
+        assert iterations == 1
+        assert norm == 0.0
+
+    def test_kernel_class_roundtrip(self):
+        kernel = JacobiKernel()
+        assert kernel.spec.complexity is KernelComplexity.STENCIL
+        problem = kernel.make_problem_with_expected(5)
+        assert kernel.validate(kernel.reference(problem.inputs), problem).passed
+
+    def test_kernel_minimum_size(self):
+        with pytest.raises(ValueError):
+            JacobiKernel().generate_problem(2)
+
+
+class TestConjugateGradient:
+    def test_solves_dense_spd_system(self, rng):
+        n = 12
+        m = rng.standard_normal((n, n))
+        a = m @ m.T + n * np.eye(n)
+        x_true = rng.standard_normal(n)
+        result = conjugate_gradient(a, a @ x_true, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+    def test_solves_csr_poisson_system(self, rng):
+        matrix = poisson_2d(5)
+        x_true = rng.standard_normal(25)
+        b = matrix.to_dense() @ x_true
+        result = conjugate_gradient(matrix, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+    def test_accepts_matvec_callable(self, rng):
+        a = np.diag(np.arange(1.0, 6.0))
+        result = conjugate_gradient(lambda v: a @ v, np.ones(5), tol=1e-12)
+        np.testing.assert_allclose(result.x, 1.0 / np.arange(1.0, 6.0), rtol=1e-8)
+
+    def test_residual_history_is_recorded_and_decreases(self, rng):
+        matrix = poisson_2d(4)
+        b = rng.standard_normal(16)
+        result = conjugate_gradient(matrix, b, tol=1e-12, record_history=True)
+        assert len(result.residual_history) == result.iterations + 1
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_iteration_cap(self, rng):
+        matrix = poisson_2d(5)
+        b = rng.standard_normal(25)
+        result = conjugate_gradient(matrix, b, tol=1e-16, max_iterations=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_zero_rhs_converges_immediately(self):
+        result = conjugate_gradient(np.eye(4), np.zeros(4))
+        assert result.converged
+        assert result.iterations == 0
+        np.testing.assert_array_equal(result.x, np.zeros(4))
+
+    def test_non_spd_operator_stops_gracefully(self):
+        a = -np.eye(3)
+        result = conjugate_gradient(a, np.ones(3), max_iterations=10)
+        assert not result.converged
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(np.eye(3), np.ones((3, 1)))
+        with pytest.raises(ValueError):
+            conjugate_gradient(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            conjugate_gradient(np.eye(3), np.ones(3), x0=np.ones(4))
+
+    def test_initial_guess_is_used(self, rng):
+        a = np.diag([1.0, 2.0, 3.0])
+        b = np.array([1.0, 4.0, 9.0])
+        exact = np.array([1.0, 2.0, 3.0])
+        result = conjugate_gradient(a, b, x0=exact.copy(), tol=1e-12)
+        assert result.iterations == 0
+        np.testing.assert_allclose(result.x, exact)
+
+    def test_kernel_class_roundtrip_square(self):
+        kernel = CgKernel()
+        problem = kernel.make_problem_with_expected(16)
+        assert problem.metadata["structure"] == "poisson2d"
+        assert kernel.validate(kernel.reference(problem.inputs), problem).passed
+
+    def test_kernel_class_roundtrip_random(self):
+        kernel = CgKernel()
+        problem = kernel.make_problem_with_expected(7)
+        assert problem.metadata["structure"] == "random_spd"
+        assert kernel.validate(kernel.reference(problem.inputs), problem).passed
+
+    def test_kernel_minimum_size(self):
+        with pytest.raises(ValueError):
+            CgKernel().generate_problem(1)
+
+    @given(n=st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_converges_on_diagonally_dominant_systems(self, n):
+        rng = np.random.default_rng(n * 7)
+        m = rng.standard_normal((n, n))
+        a = m @ m.T + n * np.eye(n)
+        x_true = rng.standard_normal(n)
+        result = conjugate_gradient(a, a @ x_true, tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-5, atol=1e-7)

@@ -1,0 +1,188 @@
+"""Tests for the sparse substrate (COO/CSR) and the SpMV kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.base import KernelComplexity
+from repro.kernels.sparse import CooMatrix, CsrMatrix, poisson_1d, poisson_2d, poisson_3d
+from repro.kernels.spmv import SpmvKernel, spmv, spmv_arrays
+
+
+class TestCooMatrix:
+    def test_to_dense(self):
+        coo = CooMatrix(rows=[0, 1, 1], cols=[1, 0, 2], data=[3.0, 4.0, 5.0], shape=(2, 3))
+        expected = np.array([[0.0, 3.0, 0.0], [4.0, 0.0, 5.0]])
+        np.testing.assert_array_equal(coo.to_dense(), expected)
+
+    def test_duplicate_entries_are_summed_in_csr(self):
+        coo = CooMatrix(rows=[0, 0], cols=[1, 1], data=[2.0, 3.0], shape=(1, 2))
+        csr = coo.to_csr()
+        np.testing.assert_array_equal(csr.to_dense(), [[0.0, 5.0]])
+
+    def test_empty_matrix(self):
+        coo = CooMatrix(rows=[], cols=[], data=[], shape=(3, 3))
+        csr = coo.to_csr()
+        assert csr.nnz == 0
+        np.testing.assert_array_equal(csr.matvec(np.ones(3)), np.zeros(3))
+
+    def test_out_of_bounds_indices_raise(self):
+        with pytest.raises(ValueError):
+            CooMatrix(rows=[5], cols=[0], data=[1.0], shape=(2, 2))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            CooMatrix(rows=[0, 1], cols=[0], data=[1.0], shape=(2, 2))
+
+
+class TestCsrMatrix:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((6, 5))
+        dense[np.abs(dense) < 0.7] = 0.0
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+
+    def test_matvec_matches_dense(self, rng):
+        dense = rng.standard_normal((8, 8))
+        dense[np.abs(dense) < 0.9] = 0.0
+        csr = CsrMatrix.from_dense(dense)
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x)
+
+    def test_matvec_matches_loop_reference(self, rng):
+        csr = CsrMatrix.random(20, 20, 0.2, rng=rng)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(csr.matvec(x), csr.matvec_loop(x))
+
+    def test_matvec_matches_scipy(self, rng):
+        dense = rng.standard_normal((15, 11))
+        dense[np.abs(dense) < 0.8] = 0.0
+        ours = CsrMatrix.from_dense(dense)
+        theirs = sp.csr_matrix(dense)
+        x = rng.standard_normal(11)
+        np.testing.assert_allclose(ours.matvec(x), theirs @ x)
+
+    def test_matvec_with_empty_rows(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = 2.0
+        dense[3, 3] = -1.0
+        csr = CsrMatrix.from_dense(dense)
+        x = np.arange(4, dtype=float)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x)
+
+    def test_matmul_operator(self, rng):
+        csr = CsrMatrix.identity(5)
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(csr @ x, x)
+
+    def test_matvec_rejects_wrong_shape(self):
+        csr = CsrMatrix.identity(4)
+        with pytest.raises(ValueError):
+            csr.matvec(np.ones(5))
+
+    def test_diagonal(self):
+        dense = np.diag([1.0, 2.0, 3.0])
+        dense[0, 2] = 9.0
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.diagonal(), [1.0, 2.0, 3.0])
+
+    def test_transpose(self, rng):
+        dense = rng.standard_normal((5, 7))
+        dense[np.abs(dense) < 0.8] = 0.0
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_scale_rows(self, rng):
+        dense = rng.standard_normal((4, 4))
+        csr = CsrMatrix.from_dense(dense)
+        scale = np.array([1.0, 2.0, 0.5, -1.0])
+        np.testing.assert_allclose(csr.scale_rows(scale).to_dense(), np.diag(scale) @ dense)
+
+    def test_row_nnz(self):
+        dense = np.array([[1.0, 0.0], [1.0, 2.0]])
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.row_nnz(), [1, 2])
+
+    def test_invalid_indptr_raises(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(indptr=[0, 2], indices=[0], data=[1.0], shape=(1, 1))
+
+    def test_random_density_bounds(self):
+        with pytest.raises(ValueError):
+            CsrMatrix.random(4, 4, 0.0)
+
+    def test_is_symmetric(self):
+        assert poisson_2d(3).is_symmetric()
+        asym = CsrMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert not asym.is_symmetric()
+
+    @given(n=st.integers(2, 12), density=st.floats(0.05, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matvec_agrees_with_dense(self, n, density):
+        rng = np.random.default_rng(n * 1000 + int(density * 100))
+        csr = CsrMatrix.random(n, n, density, rng=rng)
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(csr.matvec(x), csr.to_dense() @ x, rtol=1e-10, atol=1e-12)
+
+
+class TestPoissonOperators:
+    def test_poisson_1d_structure(self):
+        dense = poisson_1d(4).to_dense()
+        expected = np.array(
+            [[2, -1, 0, 0], [-1, 2, -1, 0], [0, -1, 2, -1], [0, 0, -1, 2]], dtype=float
+        )
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_poisson_2d_is_spd(self):
+        dense = poisson_2d(4).to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+    def test_poisson_3d_shape_and_diagonal(self):
+        op = poisson_3d(3)
+        assert op.shape == (27, 27)
+        np.testing.assert_allclose(op.diagonal(), np.full(27, 6.0))
+
+    def test_poisson_rectangular(self):
+        op = poisson_2d(2, 3)
+        assert op.shape == (6, 6)
+
+    def test_poisson_1d_invalid_size(self):
+        with pytest.raises(ValueError):
+            poisson_1d(0)
+
+
+class TestSpmvKernel:
+    kernel = SpmvKernel()
+
+    def test_spec(self):
+        assert self.kernel.spec.complexity is KernelComplexity.IRREGULAR
+
+    def test_spmv_function(self, rng):
+        matrix = poisson_2d(3)
+        x = rng.standard_normal(9)
+        np.testing.assert_allclose(spmv(matrix, x), matrix.to_dense() @ x)
+
+    def test_spmv_requires_csr(self, rng):
+        with pytest.raises(TypeError):
+            spmv(np.eye(3), np.ones(3))
+
+    def test_spmv_arrays_interface(self, rng):
+        matrix = poisson_2d(3)
+        x = rng.standard_normal(9)
+        result = spmv_arrays(matrix.indptr, matrix.indices, matrix.data, x)
+        np.testing.assert_allclose(result, matrix.matvec(x))
+
+    def test_structured_problem_for_square_sizes(self):
+        problem = self.kernel.make_problem_with_expected(16)
+        assert problem.metadata["structure"] == "poisson2d"
+        assert self.kernel.validate(self.kernel.reference(problem.inputs), problem).passed
+
+    def test_random_problem_for_non_square_sizes(self):
+        problem = self.kernel.make_problem_with_expected(10)
+        assert problem.metadata["structure"] == "random"
+        assert self.kernel.validate(self.kernel.reference(problem.inputs), problem).passed

@@ -1,0 +1,252 @@
+"""Tests for the miniature CUDA-C interpreter (lexer, parser, execution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sandbox.cuda_c import CudaModule, parse_cuda_source
+from repro.sandbox.cuda_c.interpreter import CudaRuntimeError, Dim3
+from repro.sandbox.cuda_c.lexer import CudaLexError, tokenize
+from repro.sandbox.cuda_c.parser import CudaSyntaxError
+
+AXPY_SRC = """
+extern "C" __global__
+void axpy(const int n, const double a, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+GEMV_SRC = """
+__global__ void gemv(const int m, const int n, const double *A, const double *x, double *y)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < m) {
+        double sum = 0.0;
+        for (int j = 0; j < n; j++) {
+            sum += A[i * n + j] * x[j];
+        }
+        y[i] = sum;
+    }
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_operators_and_identifiers(self):
+        tokens = tokenize("int i = a + b;")
+        texts = [t.text for t in tokens]
+        assert texts == ["int", "i", "=", "a", "+", "b", ";"]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// hello\nint x; /* multi\nline */ double y;")
+        texts = [t.text for t in tokens]
+        assert "hello" not in texts
+        assert "int" in texts and "double" in texts
+
+    def test_numbers_with_suffixes(self):
+        tokens = tokenize("x = 6.0f + 1e-3 + 42;")
+        kinds = [t.kind for t in tokens if t.kind == "number"]
+        assert len(kinds) == 3
+
+    def test_keywords_are_classified(self):
+        tokens = tokenize("__global__ void f()")
+        assert tokens[0].kind == "keyword"
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(CudaLexError):
+            tokenize("int x = `broken`;")
+
+
+class TestParser:
+    def test_parses_kernel_definition(self):
+        kernels = parse_cuda_source(AXPY_SRC)
+        assert set(kernels) == {"axpy"}
+        kernel = kernels["axpy"]
+        assert [p.name for p in kernel.params] == ["n", "a", "x", "y"]
+        assert kernel.params[2].is_pointer
+        assert not kernel.params[0].is_pointer
+        assert "__global__" in kernel.qualifiers
+
+    def test_parses_multiple_kernels(self):
+        kernels = parse_cuda_source(AXPY_SRC + GEMV_SRC)
+        assert set(kernels) == {"axpy", "gemv"}
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(CudaSyntaxError):
+            parse_cuda_source("__global__ void broken(int n) { int i = ; }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(CudaSyntaxError):
+            parse_cuda_source("__global__ void f(int n) { if (n > 0) {")
+
+    def test_unsupported_construct_raises(self):
+        with pytest.raises(CudaSyntaxError):
+            parse_cuda_source("__global__ void f(int n) { goto done; }")
+
+
+class TestDim3:
+    def test_from_int(self):
+        assert Dim3.from_value(7) == Dim3(7, 1, 1)
+
+    def test_from_tuple(self):
+        assert Dim3.from_value((2, 3)) == Dim3(2, 3, 1)
+        assert Dim3.from_value((2, 3, 4)).total == 24
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Dim3.from_value((1, 2, 3, 4))
+
+
+class TestExecution:
+    def test_axpy_kernel_matches_numpy(self, rng):
+        module = CudaModule(AXPY_SRC)
+        kernel = module.get_kernel("axpy")
+        n = 50
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        expected = 2.0 * x + y
+        kernel.launch(( (n + 255) // 256, ), (256,), (n, 2.0, x, y))
+        np.testing.assert_allclose(y, expected)
+
+    def test_guard_prevents_out_of_bounds(self, rng):
+        module = CudaModule(AXPY_SRC)
+        kernel = module.get_kernel("axpy")
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        # Launch far more threads than elements; the guard must protect them.
+        kernel.launch((4,), (64,), (10, 1.0, x, y))
+
+    def test_missing_guard_raises_out_of_bounds(self, rng):
+        src = AXPY_SRC.replace("if (i < n) {", "if (i < n + 256) {")
+        kernel = CudaModule(src).get_kernel("axpy")
+        x = rng.standard_normal(4)
+        y = rng.standard_normal(4)
+        with pytest.raises(CudaRuntimeError):
+            kernel.launch((1,), (256,), (4, 1.0, x, y))
+
+    def test_gemv_kernel_matches_numpy(self, rng):
+        kernel = CudaModule(GEMV_SRC).get_kernel("gemv")
+        m, n = 9, 7
+        a = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        y = np.zeros(m)
+        kernel.launch((1,), (32,), (m, n, a, x, y))
+        np.testing.assert_allclose(y, a @ x)
+
+    def test_2d_thread_indexing(self, rng):
+        src = """
+        __global__ void gemm(const int m, const int n, const int k,
+                             const double *A, const double *B, double *C)
+        {
+            int i = blockIdx.y * blockDim.y + threadIdx.y;
+            int j = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < m && j < n) {
+                double sum = 0.0;
+                for (int l = 0; l < k; l++) {
+                    sum += A[i * k + l] * B[l * n + j];
+                }
+                C[i * n + j] = sum;
+            }
+        }
+        """
+        kernel = CudaModule(src).get_kernel("gemm")
+        m, k, n = 5, 4, 6
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        c = np.zeros((m, n))
+        kernel.launch((1, 1), (8, 8), (m, n, k, a, b, c))
+        np.testing.assert_allclose(c, a @ b)
+
+    def test_wrong_argument_count_raises(self):
+        kernel = CudaModule(AXPY_SRC).get_kernel("axpy")
+        with pytest.raises(CudaRuntimeError):
+            kernel.launch((1,), (1,), (1, 2.0))
+
+    def test_unknown_identifier_raises(self):
+        src = "__global__ void f(int n, double *y) { y[0] = missing; }"
+        kernel = CudaModule(src).get_kernel("f")
+        with pytest.raises(CudaRuntimeError):
+            kernel.launch((1,), (1,), (1, np.zeros(1)))
+
+    def test_call_to_undefined_function_raises(self):
+        src = "__global__ void f(int n, double *y) { y[0] = helper(n); }"
+        kernel = CudaModule(src).get_kernel("f")
+        with pytest.raises(CudaRuntimeError):
+            kernel.launch((1,), (1,), (1, np.zeros(1)))
+
+    def test_math_functions_available(self):
+        src = "__global__ void f(int n, double *y) { y[0] = sqrt(16.0) + fabs(-2.0); }"
+        kernel = CudaModule(src).get_kernel("f")
+        y = np.zeros(1)
+        kernel.launch((1,), (1,), (1, y))
+        assert y[0] == pytest.approx(6.0)
+
+    def test_while_loop_and_compound_assignment(self):
+        src = """
+        __global__ void f(const int n, double *y)
+        {
+            int i = 0;
+            double acc = 0.0;
+            while (i < n) {
+                acc += 2.0;
+                i++;
+            }
+            y[0] = acc;
+        }
+        """
+        kernel = CudaModule(src).get_kernel("f")
+        y = np.zeros(1)
+        kernel.launch((1,), (1,), (5, y))
+        assert y[0] == pytest.approx(10.0)
+
+    def test_atomic_add(self):
+        src = """
+        __global__ void count(const int n, double *total)
+        {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {
+                atomicAdd(total, 1.0);
+            }
+        }
+        """
+        kernel = CudaModule(src).get_kernel("count")
+        total = np.zeros(1)
+        kernel.launch((2,), (8,), (12, total))
+        assert total[0] == pytest.approx(12.0)
+
+    def test_integer_division_semantics(self):
+        src = "__global__ void f(const int n, double *y) { int half = n / 2; y[0] = half; }"
+        kernel = CudaModule(src).get_kernel("f")
+        y = np.zeros(1)
+        kernel.launch((1,), (1,), (7, y))
+        assert y[0] == 3.0
+
+    def test_step_budget_stops_runaway_loops(self):
+        src = "__global__ void f(const int n, double *y) { while (1 < 2) { y[0] += 1.0; } }"
+        kernel = CudaModule(src).get_kernel("f")
+        kernel.max_thread_steps = 10_000
+        with pytest.raises(CudaRuntimeError):
+            kernel.launch((1,), (1,), (1, np.zeros(1)))
+
+    def test_unknown_kernel_name(self):
+        module = CudaModule(AXPY_SRC)
+        with pytest.raises(KeyError):
+            module.get_kernel("missing")
+
+    @given(n=st.integers(1, 64), a=st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_property_axpy_matches_numpy(self, n, a):
+        rng = np.random.default_rng(n)
+        kernel = CudaModule(AXPY_SRC).get_kernel("axpy")
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        expected = a * x + y
+        kernel.launch(((n + 31) // 32,), (32,), (n, a, x, y))
+        np.testing.assert_allclose(y, expected, rtol=1e-12, atol=1e-12)
