@@ -1,0 +1,135 @@
+"""E-PERF: wall-clock scaling of full-grid evaluation across executor backends.
+
+Times the complete Table 1 grid under the ``serial`` and ``process``
+backends of :class:`repro.core.runner.EvaluationRunner` (cold caches, so the
+numbers reflect the true pipeline cost, not memo hits), verifies the two
+backends produce byte-identical records, then times every experiment id once
+through the fingerprint-keyed harness cache.  The measurements are written to
+``BENCH_perf.json`` at the repo root to seed the perf trajectory.
+
+Runs standalone (``python benchmarks/bench_parallel_scaling.py``) or under
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _shared import DEFAULT_SEED
+
+from repro.analysis.analyzer import clear_verdict_memo
+from repro.codex.config import CodexConfig
+from repro.core.runner import EvaluationRunner
+from repro.corpus.store import clear_default_corpus_cache, default_corpus
+from repro.harness import experiments
+
+#: Backends measured for the scaling record.
+SCALING_BACKENDS = ("serial", "process")
+
+#: Timing repeats per backend (best-of, to damp scheduler noise).
+REPEATS = 3
+
+#: Where the perf record lands (the repo root's BENCH_* trajectory).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _cold_caches() -> None:
+    clear_verdict_memo()
+    clear_default_corpus_cache()
+    experiments.clear_result_cache()
+
+
+def _time_full_grid(backend: str, cores: int) -> tuple[float, list[dict]]:
+    """Best-of-``REPEATS`` wall-clock for the full grid under one backend.
+
+    The corpus is pre-built before timing (on fork platforms workers inherit
+    it copy-on-write), and every repeat starts from a fresh runner and a
+    cleared verdict memo, so both backends pay identical cold-analysis cost:
+    the serial memo is cleared in-process, and a new worker pool (with empty
+    worker-side memos) is spawned inside the timed region.
+    """
+    _cold_caches()
+    default_corpus()
+    best = float("inf")
+    for _ in range(REPEATS):
+        clear_verdict_memo()
+        with EvaluationRunner(
+            config=CodexConfig(),
+            seed=DEFAULT_SEED,
+            backend=backend,
+            max_workers=min(cores, 8) if backend != "serial" else None,
+        ) as runner:
+            start = time.perf_counter()
+            results = runner.run_full_grid()
+            best = min(best, time.perf_counter() - start)
+    return best, results.to_records()
+
+
+def collect_perf_record() -> dict:
+    """Measure backend scaling plus per-experiment wall-clock and return the
+    BENCH_perf record (also asserting serial/process records agree)."""
+    cores = os.cpu_count() or 1
+    record: dict = {
+        "bench": "parallel_scaling",
+        "seed": DEFAULT_SEED,
+        "cores": cores,
+        "experiments": {},
+    }
+    grid_records: dict[str, list[dict]] = {}
+    for backend in SCALING_BACKENDS:
+        elapsed, records = _time_full_grid(backend, cores)
+        record["experiments"][f"full_grid[{backend}]"] = round(elapsed, 4)
+        grid_records[backend] = records
+    assert grid_records["process"] == grid_records["serial"], (
+        "process backend diverged from serial records"
+    )
+    serial_s = record["experiments"]["full_grid[serial]"]
+    process_s = record["experiments"]["full_grid[process]"]
+    record["process_speedup"] = round(serial_s / process_s, 3) if process_s else None
+
+    # Per-experiment wall-clock through the shared result cache: the first
+    # run of each (seed, fingerprint) pays, everything downstream reuses it.
+    _cold_caches()
+    timed_calls = [
+        *((f"table{n}", lambda n=n: experiments.run_table(n, seed=DEFAULT_SEED)) for n in (2, 3, 4, 5)),
+        *((f"figure{n}", lambda n=n: experiments.run_figure(n, seed=DEFAULT_SEED)) for n in (2, 3, 4, 5, 6)),
+        ("ablation-keywords", lambda: experiments.run_keyword_ablation(seed=DEFAULT_SEED)),
+        ("ablation-maturity", lambda: experiments.run_maturity_ablation(seed=DEFAULT_SEED)),
+        ("ablation-suggestions", lambda: experiments.run_suggestion_count_ablation(seed=DEFAULT_SEED)),
+    ]
+    for experiment_id, call in timed_calls:
+        start = time.perf_counter()
+        call()
+        record["experiments"][experiment_id] = round(time.perf_counter() - start, 4)
+    return record
+
+
+def write_perf_record(record: dict, path: Path = BENCH_PATH) -> Path:
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_parallel_scaling(capsys=None):
+    record = collect_perf_record()
+    write_perf_record(record)
+    # The ≥2x criterion only applies when the hardware can parallelise and
+    # workers fork (spawn platforms re-import everything per worker, which
+    # swamps this sub-second workload regardless of the pipeline's scaling).
+    if record["cores"] >= 4 and multiprocessing.get_start_method() == "fork":
+        assert record["process_speedup"] >= 2.0, record
+    print()
+    print(f"wrote {BENCH_PATH}")
+    for key, seconds in sorted(record["experiments"].items()):
+        print(f"  {key:24s} {seconds:8.4f}s")
+    print(f"  cores={record['cores']} process speedup x{record['process_speedup']}")
+
+
+if __name__ == "__main__":
+    test_parallel_scaling()

@@ -3,10 +3,19 @@
 Combines model detection, structural checks, kernel-semantics checks and
 (for Python) sandboxed execution into a single :class:`SuggestionVerdict`,
 which is what the proficiency metric in :mod:`repro.core` consumes.
+
+Analysis is pure in ``(code, language, kernel, requested_model)``, so
+verdicts are memoized **process-wide**: identical suggestions (the sampler
+emits near-duplicate completions by design) are analyzed — and, for Python,
+sandbox-executed — exactly once per process, no matter how many runners,
+ablations or threads ask.  Analyzers configured with a custom execution
+backend or with execution disabled get a private memo instead, so their
+verdicts never leak into the shared store.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -16,7 +25,25 @@ from repro.analysis.verdict import SuggestionVerdict
 from repro.models.languages import get_language
 from repro.models.programming_models import get_model
 
-__all__ = ["SuggestionAnalyzer", "analyze_suggestion"]
+__all__ = ["SuggestionAnalyzer", "analyze_suggestion", "clear_verdict_memo"]
+
+#: Memo key: (code, language, kernel, requested model uid).
+VerdictKey = tuple[str, str, str, str]
+
+#: Process-wide verdict memo shared by every default-mode analyzer.
+_SHARED_VERDICT_MEMO: dict[VerdictKey, SuggestionVerdict] = {}
+
+
+def clear_verdict_memo() -> None:
+    """Empty the shared verdict memo (test isolation helper)."""
+    _SHARED_VERDICT_MEMO.clear()
+
+
+def _copy_verdict(verdict: SuggestionVerdict) -> SuggestionVerdict:
+    """Defensive copy handed to callers: :class:`SuggestionVerdict` is
+    mutable, and an aliased memo entry would let one caller's mutation
+    poison every later analysis in the process."""
+    return dataclasses.replace(verdict, issues=list(verdict.issues))
 
 #: Signature of the pluggable Python execution backend:
 #: ``(code, kernel) -> (math_correct, issues)``.
@@ -57,13 +84,26 @@ class SuggestionAnalyzer:
     python_executor:
         Pluggable execution backend; defaults to the sandbox in
         :mod:`repro.sandbox`.
+    shared_memo:
+        Whether verdicts go into the process-wide memo.  ``None`` (default)
+        shares the memo exactly when the analyzer is in the default analysis
+        mode (executing, with the default sandbox backend); pass ``False``
+        to force a private cache, ``True`` to share regardless.
     """
 
     execute_python: bool = True
     python_executor: PythonExecutor | None = None
-    _cache: dict[tuple[str, str, str, str], SuggestionVerdict] = field(
-        default_factory=dict, repr=False
+    shared_memo: bool | None = None
+    _cache: dict[VerdictKey, SuggestionVerdict] = field(
+        default=None, repr=False  # type: ignore[assignment]
     )
+
+    def __post_init__(self) -> None:
+        if self._cache is None:
+            share = self.shared_memo
+            if share is None:
+                share = self.execute_python and self.python_executor is None
+            self._cache = _SHARED_VERDICT_MEMO if share else {}
 
     def analyze(
         self,
@@ -89,14 +129,15 @@ class SuggestionAnalyzer:
         lang = get_language(language)
         requested = get_model(requested_model)
         cache_key = (code, lang.name, kernel, requested.uid)
-        if cache_key in self._cache:
-            return self._cache[cache_key]
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return _copy_verdict(cached)
 
         verdict = SuggestionVerdict(is_code=_looks_like_code(code, lang.comment_prefix))
         if not verdict.is_code:
             verdict.add_issue("suggestion contains no code")
             self._cache[cache_key] = verdict
-            return verdict
+            return _copy_verdict(verdict)
 
         detected = detect_models(code, lang.name)
         verdict.detected_models = detected
@@ -139,7 +180,7 @@ class SuggestionAnalyzer:
         verdict.issues.extend(issues)
         verdict.math_correct = not issues
         self._cache[cache_key] = verdict
-        return verdict
+        return _copy_verdict(verdict)
 
 
 _DEFAULT_ANALYZER = SuggestionAnalyzer()

@@ -29,7 +29,7 @@ from __future__ import annotations
 from repro.codex.config import CodexConfig, KnowledgeState
 from repro.codex.prompt import Prompt
 from repro.codex.sampler import SuggestionSampler
-from repro.codex.engine import SimulatedCodex, CompletionResult
+from repro.codex.engine import SimulatedCodex, CompletionResult, cell_seed_sequence
 
 __all__ = [
     "CodexConfig",
@@ -38,4 +38,5 @@ __all__ = [
     "SuggestionSampler",
     "SimulatedCodex",
     "CompletionResult",
+    "cell_seed_sequence",
 ]

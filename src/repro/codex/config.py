@@ -17,7 +17,10 @@ Two kinds of parameters live here and they have different epistemic status
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 
@@ -104,6 +107,26 @@ class CodexConfig:
 
     #: Maximum number of suggestions per prompt (the Copilot panel shows 10).
     max_suggestions: int = 10
+
+    # -- identity -------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable digest of every tunable parameter (including the maturity
+        prior), used to key result caches: two configs with equal parameters
+        fingerprint identically even when they are distinct instances."""
+
+        def encode(value):
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                return {f.name: encode(getattr(value, f.name)) for f in dataclasses.fields(value)}
+            if isinstance(value, dict):
+                return sorted((str(k), encode(v)) for k, v in value.items())
+            if isinstance(value, (list, tuple)):
+                return [encode(v) for v in value]
+            if isinstance(value, enum.Enum):
+                return str(value)
+            return value
+
+        payload = json.dumps(encode(self), sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     # -- competence -----------------------------------------------------------
     def availability(self, prompt: Prompt) -> float:

@@ -5,9 +5,18 @@
 :class:`CompletionResult` holding up to ten raw suggestion texts — the same
 artefact the paper's authors collected from the Copilot suggestion panel.
 
-Determinism: every prompt derives its own random stream from the engine seed
-and the prompt's cell identifier, so single cells can be re-evaluated in
-isolation and the full grid is reproducible regardless of evaluation order.
+Determinism contract (the *per-cell seeding contract*): every prompt owns an
+independent random stream derived via :func:`cell_seed_sequence` from the
+engine seed and the cell key ``(language, model, kernel, postfix)``.  No
+sequential engine-level RNG state exists, so
+
+* a single cell re-evaluated in isolation reproduces exactly the value it has
+  inside a full-grid run, and
+* the full grid is byte-identical regardless of evaluation order or of how
+  cells are partitioned across threads/processes.
+
+That contract is what makes the parallel backends in
+:mod:`repro.core.runner` safe.
 """
 
 from __future__ import annotations
@@ -23,7 +32,29 @@ from repro.codex.sampler import SuggestionSampler
 from repro.corpus.snippets import CodeSnippet
 from repro.corpus.store import CorpusStore
 
-__all__ = ["CompletionResult", "SimulatedCodex"]
+__all__ = ["CompletionResult", "SimulatedCodex", "cell_seed_sequence"]
+
+
+def cell_seed_sequence(
+    seed: int, *, language: str, model: str, kernel: str, postfix: str
+) -> np.random.SeedSequence:
+    """The :class:`numpy.random.SeedSequence` owning one grid cell's stream.
+
+    The experiment seed is extended with a 64-bit key word hashed from the
+    cell coordinates — the same mechanism ``SeedSequence.spawn`` uses, but
+    with a *content-derived* spawn key instead of a sequential counter, so
+    the stream depends only on ``(seed, language, model, kernel, postfix)``
+    and never on how many cells were evaluated before this one.
+
+    ``model`` uids are ``"<language>.<short>"`` and the postfix keyword is a
+    per-language constant, so the textual cell key below encodes the full
+    coordinate tuple injectively.
+    """
+    if not model.startswith(f"{language}."):
+        raise ValueError(f"model uid {model!r} does not belong to language {language!r}")
+    cell_key = f"{model}:{kernel}{'+kw' if postfix else ''}"
+    digest = hashlib.sha256(cell_key.encode("utf-8")).digest()
+    return np.random.SeedSequence([seed, int.from_bytes(digest[:8], "little")])
 
 
 @dataclass(frozen=True)
@@ -77,6 +108,11 @@ class SimulatedCodex:
 
     # -- helpers ------------------------------------------------------------------
     def _rng_for(self, prompt: Prompt) -> np.random.Generator:
-        digest = hashlib.sha256(prompt.cell_id.encode("utf-8")).digest()
-        cell_entropy = int.from_bytes(digest[:8], "little")
-        return np.random.default_rng([self.seed, cell_entropy])
+        sequence = cell_seed_sequence(
+            self.seed,
+            language=prompt.language.name,
+            model=prompt.model_uid,
+            kernel=prompt.kernel,
+            postfix=prompt.postfix,
+        )
+        return np.random.default_rng(sequence)

@@ -29,7 +29,7 @@ from repro.codex.config import CodexConfig, KnowledgeState
 from repro.codex.prompt import Prompt
 from repro.corpus.mutations import MUTATION_OPERATORS, apply_mutation
 from repro.corpus.snippets import CodeSnippet, SnippetOrigin
-from repro.corpus.store import CorpusStore, build_default_corpus
+from repro.corpus.store import CorpusStore, default_corpus
 from repro.popularity.maturity import model_maturity
 
 __all__ = ["SuggestionSampler"]
@@ -49,7 +49,7 @@ class SuggestionSampler:
 
     def __post_init__(self) -> None:
         if self.corpus is None:
-            self.corpus = build_default_corpus()
+            self.corpus = default_corpus()
 
     # -- public API ------------------------------------------------------------
     def sample(self, prompt: Prompt, rng: np.random.Generator) -> list[CodeSnippet]:
@@ -162,7 +162,9 @@ class SuggestionSampler:
             broken = self._broken_same_model(prompt, rng)
             suggestions.append(broken if broken is not None else self._non_code(prompt))
         rng.shuffle(suggestions)
-        return suggestions
+        # n_correct is drawn independently of the budget, so cap the list for
+        # tiny budgets (count < 2); a no-op whenever count >= n_correct.
+        return suggestions[:count]
 
     def _compose_confused(self, prompt: Prompt, rng: np.random.Generator) -> list[CodeSnippet]:
         correct = self._correct_suggestion(prompt)

@@ -1,27 +1,75 @@
-"""Grid runner: evaluate every cell of the Table 1 experiment grid."""
+"""Grid runner: evaluate every cell of the Table 1 experiment grid.
+
+The runner dispatches cell evaluation to one of three executor backends:
+
+``serial``
+    Evaluate in the calling thread (the default, zero overhead).
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` over chunks of cells.
+    All threads share one evaluator — the engine is stateless per cell (see
+    the per-cell seeding contract in :mod:`repro.codex.engine`) and the
+    analyzer memo is only ever extended with deterministic values.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`; each worker builds
+    its own evaluator from ``(config, seed)`` once and evaluates chunks of
+    cells.  Use this to put multiple cores behind the sandbox-heavy Python
+    cells.
+
+Because every cell owns an order-independent random stream, all three
+backends produce byte-identical :meth:`ResultSet.to_records` output; results
+are always returned in the submission order of the cells.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.codex.config import DEFAULT_SEED, CodexConfig
 from repro.codex.engine import SimulatedCodex
 from repro.core.evaluator import CellResult, PromptEvaluator
 from repro.models.grid import ExperimentCell, cells_for_language, experiment_grid
 
-__all__ = ["ResultSet", "EvaluationRunner"]
+__all__ = ["ResultSet", "EvaluationRunner", "BACKENDS"]
+
+#: Executor backends understood by :class:`EvaluationRunner`.
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
 
 
 @dataclass
 class ResultSet:
-    """A collection of per-cell results with convenient lookups."""
+    """A collection of per-cell results with indexed lookups.
+
+    ``add`` maintains dict indexes keyed on the cell coordinates, so
+    :meth:`score` is O(1) and :meth:`filter` only scans the candidate list
+    of the most selective criterion instead of the whole collection.
+    """
 
     results: list[CellResult] = field(default_factory=list)
     seed: int = DEFAULT_SEED
+    #: (model, kernel, use_postfix) -> result, for the O(1) score lookup.
+    _by_cell: dict[tuple[str, str, bool], CellResult] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: field name -> field value -> results, for indexed filtering.
+    _by_field: dict[str, dict[object, list[CellResult]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        preloaded, self.results = self.results, []
+        for result in preloaded:
+            self.add(result)
 
     def add(self, result: CellResult) -> None:
         self.results.append(result)
+        cell = result.cell
+        self._by_cell[(cell.model, cell.kernel, cell.use_postfix)] = result
+        for name in ("language", "model", "kernel", "use_postfix"):
+            index = self._by_field.setdefault(name, {})
+            index.setdefault(getattr(cell, name), []).append(result)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -32,11 +80,10 @@ class ResultSet:
     # -- lookups -----------------------------------------------------------------
     def score(self, model_uid: str, kernel: str, *, use_postfix: bool) -> float:
         """The rubric score of one cell (KeyError when absent)."""
-        for result in self.results:
-            cell = result.cell
-            if cell.model == model_uid and cell.kernel == kernel and cell.use_postfix == use_postfix:
-                return result.score
-        raise KeyError(f"no result for {model_uid}:{kernel} use_postfix={use_postfix}")
+        result = self._by_cell.get((model_uid, kernel, use_postfix))
+        if result is None:
+            raise KeyError(f"no result for {model_uid}:{kernel} use_postfix={use_postfix}")
+        return result.score
 
     def filter(
         self,
@@ -47,18 +94,28 @@ class ResultSet:
         use_postfix: bool | None = None,
     ) -> "ResultSet":
         """Subset of the results matching the given criteria."""
+        criteria = {
+            name: value
+            for name, value in (
+                ("language", language),
+                ("model", model),
+                ("kernel", kernel),
+                ("use_postfix", use_postfix),
+            )
+            if value is not None
+        }
+        candidates: Sequence[CellResult] = self.results
+        if criteria:
+            # Scan only the shortest matching index bucket; results keep
+            # insertion order because every bucket preserves it.
+            buckets = [
+                self._by_field.get(name, {}).get(value, []) for name, value in criteria.items()
+            ]
+            candidates = min(buckets, key=len)
         out = ResultSet(seed=self.seed)
-        for result in self.results:
-            cell = result.cell
-            if language is not None and cell.language != language:
-                continue
-            if model is not None and cell.model != model:
-                continue
-            if kernel is not None and cell.kernel != kernel:
-                continue
-            if use_postfix is not None and cell.use_postfix != use_postfix:
-                continue
-            out.add(result)
+        for result in candidates:
+            if all(getattr(result.cell, name) == value for name, value in criteria.items()):
+                out.add(result)
         return out
 
     def scores(self) -> list[float]:
@@ -72,29 +129,81 @@ class ResultSet:
         return [result.to_record() for result in self.results]
 
 
+# ---------------------------------------------------------------------------
+# Process-backend worker plumbing.  Workers rebuild a default evaluator from
+# (config, seed) once in the initializer; per-cell determinism makes the
+# partitioning of cells across workers irrelevant to the results.
+# ---------------------------------------------------------------------------
+
+_WORKER_EVALUATOR: PromptEvaluator | None = None
+
+
+def _init_worker(config: CodexConfig, seed: int) -> None:
+    global _WORKER_EVALUATOR
+    engine = SimulatedCodex(config=config, seed=seed)
+    _WORKER_EVALUATOR = PromptEvaluator(engine=engine)
+
+
+def _evaluate_chunk_in_worker(cells: list[ExperimentCell]) -> list[CellResult]:
+    assert _WORKER_EVALUATOR is not None, "worker initializer did not run"
+    return [_WORKER_EVALUATOR.evaluate_cell(cell) for cell in cells]
+
+
+def _chunked(cells: list[ExperimentCell], chunk_size: int) -> list[list[ExperimentCell]]:
+    return [cells[i : i + chunk_size] for i in range(0, len(cells), chunk_size)]
+
+
 @dataclass
 class EvaluationRunner:
-    """Runs the evaluation over languages or the full grid."""
+    """Runs the evaluation over languages or the full grid.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+    max_workers:
+        Worker count for the parallel backends (executor default when None).
+    chunk_size:
+        Cells per dispatched work item; defaults to roughly four chunks per
+        worker so stragglers (sandbox-heavy Python cells) rebalance.
+    progress:
+        Callback invoked with each :class:`CellResult`; under the parallel
+        backends it fires as chunks complete, in submission order.
+    """
 
     config: CodexConfig = field(default_factory=CodexConfig)
     seed: int = DEFAULT_SEED
     progress: Callable[[CellResult], None] | None = None
     evaluator: PromptEvaluator | None = None
+    backend: str = "serial"
+    max_workers: int | None = None
+    chunk_size: int | None = None
+    #: Lazily-created executor, kept alive across run_cells calls so repeated
+    #: runs (e.g. one language table after another) reuse the worker pool and
+    #: its per-worker state instead of paying spawn + corpus setup each time.
+    _executor: Executor | None = field(default=None, init=False, repr=False, compare=False)
+    #: Actual worker count of the live pool (set when the pool is created).
+    _workers: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        self._custom_evaluator = self.evaluator is not None
+        if self.backend == "process" and self._custom_evaluator:
+            raise ValueError(
+                "the process backend rebuilds evaluators from (config, seed) in each "
+                "worker and cannot ship a custom evaluator; use serial or thread"
+            )
         if self.evaluator is None:
             engine = SimulatedCodex(config=self.config, seed=self.seed)
             self.evaluator = PromptEvaluator(engine=engine)
 
     # -- entry points ---------------------------------------------------------------
     def run_cells(self, cells: Iterable[ExperimentCell]) -> ResultSet:
-        results = ResultSet(seed=self.seed)
-        for cell in cells:
-            result = self.evaluator.evaluate_cell(cell)
-            results.add(result)
-            if self.progress is not None:
-                self.progress(result)
-        return results
+        cell_list = list(cells)
+        if self.backend == "serial":
+            return self._run_serial(cell_list)
+        return self._run_executor(cell_list)
 
     def run_language(
         self,
@@ -111,3 +220,68 @@ class EvaluationRunner:
     def run_full_grid(self) -> ResultSet:
         """Evaluate the complete Table 1 grid (all languages and variants)."""
         return self.run_cells(experiment_grid())
+
+    # -- backends -------------------------------------------------------------------
+    def _run_serial(self, cells: list[ExperimentCell]) -> ResultSet:
+        results = ResultSet(seed=self.seed)
+        for cell in cells:
+            self._emit(results, self.evaluator.evaluate_cell(cell))
+        return results
+
+    def _run_executor(self, cells: list[ExperimentCell]) -> ResultSet:
+        results = ResultSet(seed=self.seed)
+        if not cells:
+            return results
+        executor = self._get_executor()
+        chunk_size = self.chunk_size or max(1, -(-len(cells) // (self._workers * 4)))
+        chunks = _chunked(cells, chunk_size)
+        if self.backend == "thread":
+            evaluator = self.evaluator
+            evaluate = lambda chunk: [evaluator.evaluate_cell(cell) for cell in chunk]
+        else:
+            evaluate = _evaluate_chunk_in_worker
+        futures = [executor.submit(evaluate, chunk) for chunk in chunks]
+        # Collect in submission order: the result list (and therefore
+        # to_records) is identical to a serial run regardless of which
+        # chunk finishes first.
+        for future in futures:
+            for result in future.result():
+                self._emit(results, result)
+        return results
+
+    def _get_executor(self) -> Executor:
+        if self._executor is None:
+            # Size from the hardware, never from the first run's cell count:
+            # the pool outlives run_cells calls of very different sizes.
+            self._workers = self.max_workers or min(8, os.cpu_count() or 1)
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(max_workers=self._workers)
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_init_worker,
+                    initargs=(self.config, self.seed),
+                )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial runners are no-ops).
+
+        Pools left open are reaped at interpreter exit, but callers issuing
+        many parallel runs should close runners (or use them as context
+        managers) once done.
+        """
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "EvaluationRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _emit(self, results: ResultSet, result: CellResult) -> None:
+        results.add(result)
+        if self.progress is not None:
+            self.progress(result)

@@ -19,7 +19,12 @@ inspectable one:
 from __future__ import annotations
 
 from repro.corpus.snippets import CodeSnippet, SnippetOrigin
-from repro.corpus.store import CorpusStore, build_default_corpus
+from repro.corpus.store import (
+    CorpusStore,
+    build_default_corpus,
+    clear_default_corpus_cache,
+    default_corpus,
+)
 from repro.corpus.templates import get_template, has_template, iter_templates
 from repro.corpus.mutations import (
     MUTATION_OPERATORS,
@@ -33,6 +38,8 @@ __all__ = [
     "SnippetOrigin",
     "CorpusStore",
     "build_default_corpus",
+    "default_corpus",
+    "clear_default_corpus_cache",
     "get_template",
     "has_template",
     "iter_templates",

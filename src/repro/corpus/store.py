@@ -23,7 +23,12 @@ from repro.corpus.snippets import CodeSnippet, SnippetOrigin
 from repro.corpus.templates import iter_templates
 from repro.models.programming_models import PROGRAMMING_MODELS
 
-__all__ = ["CorpusStore", "build_default_corpus"]
+__all__ = [
+    "CorpusStore",
+    "build_default_corpus",
+    "default_corpus",
+    "clear_default_corpus_cache",
+]
 
 
 def _model_uid(language: str, model_short: str) -> str:
@@ -136,3 +141,28 @@ def build_default_corpus(*, include_mutations: bool = True) -> CorpusStore:
             if mutated is not None:
                 store.add(mutated)
     return store
+
+
+#: Process-wide memo of the default corpus, keyed by ``include_mutations``.
+#: The corpus is read-only once built (samplers and analyzers never mutate
+#: snippets), so one shared instance can serve every runner and thread.
+_DEFAULT_CORPUS_CACHE: dict[bool, CorpusStore] = {}
+
+
+def default_corpus(*, include_mutations: bool = True) -> CorpusStore:
+    """The shared default corpus, built at most once per process.
+
+    Every :class:`~repro.codex.sampler.SuggestionSampler` without an explicit
+    corpus draws from this store, so repeated runner construction (tables,
+    figures, ablations) stops re-deriving templates and mutations.
+    """
+    if include_mutations not in _DEFAULT_CORPUS_CACHE:
+        _DEFAULT_CORPUS_CACHE[include_mutations] = build_default_corpus(
+            include_mutations=include_mutations
+        )
+    return _DEFAULT_CORPUS_CACHE[include_mutations]
+
+
+def clear_default_corpus_cache() -> None:
+    """Drop the memoized default corpus (tests that mutate snippets use this)."""
+    _DEFAULT_CORPUS_CACHE.clear()

@@ -24,6 +24,7 @@ from repro.codex.engine import SimulatedCodex
 from repro.codex.prompt import Prompt
 from repro.core.compare import compare_to_paper
 from repro.core.evaluator import PromptEvaluator
+from repro.core.runner import BACKENDS
 from repro.harness import experiments
 from repro.harness.io import save_records_csv, save_records_json
 from repro.models.grid import ExperimentCell
@@ -39,6 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
         "Programming Models Kernel Generation' (Godoy et al., ICPP-W 2023)",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="serial",
+        help="executor backend for grid evaluation (results are identical across backends)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="evaluate the full grid and print all artefacts")
@@ -65,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    results = experiments.run_full_results(seed=args.seed)
+    results = experiments.run_full_results(seed=args.seed, backend=args.backend)
     for number in sorted(experiments.TABLE_LANGUAGES):
         report = experiments.run_table(number, seed=args.seed)
         print(report.text)
@@ -82,7 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    report = experiments.run_table(args.number, seed=args.seed)
+    report = experiments.run_table(args.number, seed=args.seed, backend=args.backend)
     print(report.text)
     print()
     print(report.summary_line())
@@ -90,7 +97,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    report = experiments.run_figure(args.number, seed=args.seed)
+    report = experiments.run_figure(args.number, seed=args.seed, backend=args.backend)
     print(report.text)
     print()
     print(report.summary_line())
@@ -103,14 +110,14 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "maturity": experiments.run_maturity_ablation,
         "suggestions": experiments.run_suggestion_count_ablation,
     }
-    report = runners[args.name](seed=args.seed)
+    report = runners[args.name](seed=args.seed, backend=args.backend)
     print(report.text)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     for language in language_names():
-        results = experiments.run_language_results(language, seed=args.seed)
+        results = experiments.run_language_results(language, seed=args.seed, backend=args.backend)
         comparison = compare_to_paper(results, language)
         display = get_language(language).display_name
         print(

@@ -8,15 +8,13 @@ DESIGN.md §4 for the experiment index).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.codex.config import DEFAULT_SEED, CodexConfig
-from repro.codex.prompt import Prompt
 from repro.core.aggregate import postfix_effect
 from repro.core.compare import ShapeComparison, compare_to_paper
-from repro.core.evaluator import PromptEvaluator
-from repro.core.proficiency import classify_verdicts
 from repro.core.runner import EvaluationRunner, ResultSet
 from repro.harness.figures import (
     FIGURE_LANGUAGES,
@@ -26,13 +24,14 @@ from repro.harness.figures import (
     render_overall_figure,
 )
 from repro.harness.tables import render_language_table
-from repro.models.grid import cells_for_language, experiment_grid
+from repro.models.grid import experiment_grid
 from repro.models.languages import get_language, language_names
 from repro.popularity.maturity import MaturityModel
 
 __all__ = [
     "ExperimentReport",
     "TABLE_LANGUAGES",
+    "clear_result_cache",
     "run_language_results",
     "run_table",
     "run_figure",
@@ -74,35 +73,94 @@ class ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
-# Shared runners (cached per seed/config so figure N reuses table N's run)
+# Shared runners, cached per (seed, language, config fingerprint).  Keying on
+# the fingerprint (not identity, not "config is None") means figure N reuses
+# table N's run, the keyword ablation reuses the full grid, and the ablation
+# points whose config equals the default (maturity scale 1.0, suggestion
+# budget 10) reuse the default runs — each grid cell is evaluated at most
+# once per (seed, fingerprint).  The cache is LRU-bounded so long-lived
+# processes sweeping many configs don't grow without limit.
 # ---------------------------------------------------------------------------
 
-_RESULT_CACHE: dict[tuple[int, str], ResultSet] = {}
+_RESULT_CACHE: OrderedDict[tuple[int, str, str], ResultSet] = OrderedDict()
+#: Upper bound on retained runs; comfortably holds the default grid plus the
+#: standard ablation sweeps while capping parameter-sweep memory.
+_RESULT_CACHE_MAX = 64
+
+
+def clear_result_cache() -> None:
+    """Drop every cached :class:`ResultSet` (test fixtures call this so runs
+    cannot leak between seeds or configs)."""
+    _RESULT_CACHE.clear()
+
+
+def _cache_get(key: tuple[int, str, str]) -> ResultSet | None:
+    result = _RESULT_CACHE.get(key)
+    if result is not None:
+        _RESULT_CACHE.move_to_end(key)
+    return result
+
+
+def _cache_put(key: tuple[int, str, str], value: ResultSet) -> None:
+    _RESULT_CACHE[key] = value
+    _RESULT_CACHE.move_to_end(key)
+    while len(_RESULT_CACHE) > _RESULT_CACHE_MAX:
+        _RESULT_CACHE.popitem(last=False)
 
 
 def run_language_results(
-    language: str, *, seed: int = DEFAULT_SEED, config: CodexConfig | None = None
+    language: str,
+    *,
+    seed: int = DEFAULT_SEED,
+    config: CodexConfig | None = None,
+    backend: str = "serial",
 ) -> ResultSet:
     """Evaluate all cells of one language's table.
 
-    Runs with the default configuration are cached per (seed, language) so
-    that reproducing figure N after table N does not redo the evaluation.
+    Results are memoized per (seed, language, config fingerprint); the
+    ``backend`` only selects how a cache miss is computed — by the per-cell
+    seeding contract every backend yields identical records.
+
+    The returned :class:`ResultSet` is the shared cache entry — treat it as
+    read-only and copy its results into a fresh set before adding to it
+    (as :func:`run_full_results` does).
     """
-    if config is None:
-        cache_key = (seed, language)
-        if cache_key not in _RESULT_CACHE:
-            runner = EvaluationRunner(config=CodexConfig(), seed=seed)
-            _RESULT_CACHE[cache_key] = runner.run_language(language)
-        return _RESULT_CACHE[cache_key]
-    runner = EvaluationRunner(config=config, seed=seed)
-    return runner.run_language(language)
+    cfg = config if config is not None else CodexConfig()
+    cache_key = (seed, language, cfg.fingerprint())
+    cached = _cache_get(cache_key)
+    if cached is None:
+        with EvaluationRunner(config=cfg, seed=seed, backend=backend) as runner:
+            cached = runner.run_language(language)
+        _cache_put(cache_key, cached)
+    return cached
 
 
-def run_full_results(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ResultSet:
-    """Evaluate the full grid (all four languages)."""
+def run_full_results(
+    *,
+    seed: int = DEFAULT_SEED,
+    config: CodexConfig | None = None,
+    backend: str = "serial",
+) -> ResultSet:
+    """Evaluate the full grid (all four languages).
+
+    Languages missing from the cache are evaluated through a single runner,
+    so a parallel backend spins up one worker pool for the whole grid rather
+    than one per language.
+    """
+    cfg = config if config is not None else CodexConfig()
+    fingerprint = cfg.fingerprint()
+    missing = [
+        language
+        for language in language_names()
+        if _cache_get((seed, language, fingerprint)) is None
+    ]
+    if missing:
+        with EvaluationRunner(config=cfg, seed=seed, backend=backend) as runner:
+            for language in missing:
+                _cache_put((seed, language, fingerprint), runner.run_language(language))
     combined = ResultSet(seed=seed)
     for language in language_names():
-        for result in run_language_results(language, seed=seed, config=config):
+        for result in run_language_results(language, seed=seed, config=cfg, backend=backend):
             combined.add(result)
     return combined
 
@@ -111,12 +169,18 @@ def run_full_results(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = N
 # Tables 2-5
 # ---------------------------------------------------------------------------
 
-def run_table(number: int, *, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+def run_table(
+    number: int,
+    *,
+    seed: int = DEFAULT_SEED,
+    config: CodexConfig | None = None,
+    backend: str = "serial",
+) -> ExperimentReport:
     """Reproduce Table ``number`` (2 = C++, 3 = Fortran, 4 = Python, 5 = Julia)."""
     if number not in TABLE_LANGUAGES:
         raise KeyError(f"the paper has no result table {number}; choose from {sorted(TABLE_LANGUAGES)}")
     language = TABLE_LANGUAGES[number]
-    results = run_language_results(language, seed=seed, config=config)
+    results = run_language_results(language, seed=seed, config=config, backend=backend)
     comparison = compare_to_paper(results, language)
     lang_display = get_language(language).display_name
     text = render_language_table(results, language)
@@ -138,14 +202,20 @@ def run_table(number: int, *, seed: int = DEFAULT_SEED, config: CodexConfig | No
 # Figures 2-6
 # ---------------------------------------------------------------------------
 
-def run_figure(number: int, *, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+def run_figure(
+    number: int,
+    *,
+    seed: int = DEFAULT_SEED,
+    config: CodexConfig | None = None,
+    backend: str = "serial",
+) -> ExperimentReport:
     """Reproduce Figure ``number`` (2 = C++, ..., 5 = Julia, 6 = overall)."""
     if number == 6:
-        return run_overall_figure(seed=seed, config=config)
+        return run_overall_figure(seed=seed, config=config, backend=backend)
     if number not in FIGURE_LANGUAGES:
         raise KeyError(f"the paper has no figure {number}; choose from {sorted(FIGURE_LANGUAGES)} or 6")
     language = FIGURE_LANGUAGES[number]
-    results = run_language_results(language, seed=seed, config=config)
+    results = run_language_results(language, seed=seed, config=config, backend=backend)
     comparison = compare_to_paper(results, language)
     lang_display = get_language(language).display_name
     return ExperimentReport(
@@ -157,9 +227,14 @@ def run_figure(number: int, *, seed: int = DEFAULT_SEED, config: CodexConfig | N
     )
 
 
-def run_overall_figure(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+def run_overall_figure(
+    *,
+    seed: int = DEFAULT_SEED,
+    config: CodexConfig | None = None,
+    backend: str = "serial",
+) -> ExperimentReport:
     """Reproduce Figure 6: overall per-kernel and per-language averages."""
-    results = run_full_results(seed=seed, config=config)
+    results = run_full_results(seed=seed, config=config, backend=backend)
     data = overall_figure_data(results)
     return ExperimentReport(
         experiment_id="figure6",
@@ -174,9 +249,14 @@ def run_overall_figure(*, seed: int = DEFAULT_SEED, config: CodexConfig | None =
 # Ablations (DESIGN.md §4: A-KW, A-MAT, A-SUG)
 # ---------------------------------------------------------------------------
 
-def run_keyword_ablation(*, seed: int = DEFAULT_SEED, config: CodexConfig | None = None) -> ExperimentReport:
+def run_keyword_ablation(
+    *,
+    seed: int = DEFAULT_SEED,
+    config: CodexConfig | None = None,
+    backend: str = "serial",
+) -> ExperimentReport:
     """A-KW: effect of the post-fix keyword per language."""
-    results = run_full_results(seed=seed, config=config)
+    results = run_full_results(seed=seed, config=config, backend=backend)
     effects = {}
     for language in language_names():
         effects[language] = postfix_effect(results, language)
@@ -196,21 +276,24 @@ def run_keyword_ablation(*, seed: int = DEFAULT_SEED, config: CodexConfig | None
 
 
 def run_maturity_ablation(
-    *, seed: int = DEFAULT_SEED, scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25)
+    *,
+    seed: int = DEFAULT_SEED,
+    scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25),
+    backend: str = "serial",
 ) -> ExperimentReport:
     """A-MAT: how the model-maturity prior weight shifts the score ordering.
 
     The ablation scales the weight of the model-maturity term in the
     availability prior and checks that the qualitative ordering (OpenMP/CUDA
-    ahead of HIP/Thrust in C++) is stable.
+    ahead of HIP/Thrust in C++) is stable.  Scale 1.0 fingerprints equal to
+    the default config, so that point reuses the cached Table 2 run.
     """
     orderings: dict[float, list[str]] = {}
     stability: dict[float, bool] = {}
     for scale in scales:
         maturity = MaturityModel(model_weight=0.62 * scale)
         config = CodexConfig(maturity=maturity)
-        runner = EvaluationRunner(config=config, seed=seed)
-        results = runner.run_language("cpp")
+        results = run_language_results("cpp", seed=seed, config=config, backend=backend)
         from repro.core.aggregate import model_averages
 
         averages = model_averages(results, "cpp")
@@ -231,37 +314,26 @@ def run_maturity_ablation(
 
 
 def run_suggestion_count_ablation(
-    *, seed: int = DEFAULT_SEED, counts: tuple[int, ...] = (1, 3, 5, 10, 20)
+    *,
+    seed: int = DEFAULT_SEED,
+    counts: tuple[int, ...] = (1, 3, 5, 10, 20),
+    backend: str = "serial",
 ) -> ExperimentReport:
     """A-SUG: rubric behaviour as the suggestion budget changes.
 
     The paper evaluates the first ten suggestions; this ablation truncates or
     extends the budget and reports the mean score over the C++ grid, showing
     how the metric saturates (more suggestions can only move a cell between
-    proficient and lower levels, never above).
+    proficient and lower levels, never above).  The engine never emits more
+    than ``max_suggestions`` completions, so each budget is a standard grid
+    run under that config — and the budget-10 point reuses the cached
+    default-config Table 2 run.
     """
     means: dict[int, float] = {}
     for count in counts:
         config = CodexConfig(max_suggestions=count)
-        runner = EvaluationRunner(config=config, seed=seed)
-        evaluator: PromptEvaluator = runner.evaluator
-        cells = cells_for_language("cpp")
-        scores = []
-        for cell in cells:
-            prompt = Prompt.from_cell(cell)
-            completion = evaluator.engine.complete(prompt)
-            truncated = completion.suggestions[:count]
-            verdicts = [
-                evaluator.analyzer.analyze(
-                    code,
-                    language=prompt.language.name,
-                    kernel=prompt.kernel,
-                    requested_model=prompt.model_uid,
-                )
-                for code in truncated
-            ]
-            scores.append(float(classify_verdicts(verdicts).value))
-        means[count] = sum(scores) / len(scores)
+        results = run_language_results("cpp", seed=seed, config=config, backend=backend)
+        means[count] = results.mean_score()
     lines = ["Suggestion-budget ablation (mean C++ score per suggestion count)"]
     for count, mean in means.items():
         lines.append(f"  first {count:>2} suggestions: mean score {mean:.3f}")
@@ -273,19 +345,26 @@ def run_suggestion_count_ablation(
     )
 
 
-def run_everything(*, seed: int = DEFAULT_SEED) -> dict[str, ExperimentReport]:
-    """Run every table, figure and ablation (used by the CLI)."""
+def run_everything(*, seed: int = DEFAULT_SEED, backend: str = "serial") -> dict[str, ExperimentReport]:
+    """Run every table, figure and ablation (used by the CLI).
+
+    The default-config grid is evaluated exactly once up front (optionally in
+    parallel); every table, figure and the keyword ablation then resolve from
+    the result cache, and the remaining ablations only evaluate the config
+    points whose fingerprint differs from the default.
+    """
+    run_full_results(seed=seed, backend=backend)
     reports: dict[str, ExperimentReport] = {}
     for number in sorted(TABLE_LANGUAGES):
-        report = run_table(number, seed=seed)
+        report = run_table(number, seed=seed, backend=backend)
         reports[report.experiment_id] = report
     for number in (2, 3, 4, 5, 6):
-        report = run_figure(number, seed=seed)
+        report = run_figure(number, seed=seed, backend=backend)
         reports[report.experiment_id] = report
     for report in (
-        run_keyword_ablation(seed=seed),
-        run_maturity_ablation(seed=seed),
-        run_suggestion_count_ablation(seed=seed),
+        run_keyword_ablation(seed=seed, backend=backend),
+        run_maturity_ablation(seed=seed, backend=backend),
+        run_suggestion_count_ablation(seed=seed, backend=backend),
     ):
         reports[report.experiment_id] = report
     return reports

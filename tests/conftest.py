@@ -15,13 +15,23 @@ from repro.codex.config import CodexConfig, DEFAULT_SEED
 from repro.codex.engine import SimulatedCodex
 from repro.core.evaluator import PromptEvaluator
 from repro.core.runner import EvaluationRunner, ResultSet
-from repro.corpus.store import CorpusStore, build_default_corpus
+from repro.corpus.store import CorpusStore, default_corpus
+from repro.harness.experiments import clear_result_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolate_result_cache():
+    """Cached harness ResultSets must never leak between seeds/configs of
+    different tests; each test starts from an empty result cache."""
+    clear_result_cache()
+    yield
+    clear_result_cache()
 
 
 @pytest.fixture(scope="session")
 def corpus() -> CorpusStore:
-    """The default corpus (templates + mutated variants)."""
-    return build_default_corpus()
+    """The default corpus (templates + mutated variants), shared process-wide."""
+    return default_corpus()
 
 
 @pytest.fixture(scope="session")

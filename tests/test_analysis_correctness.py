@@ -210,11 +210,14 @@ class TestAnalyzerVerdicts:
         assert not verdict.math_correct
         assert "nope" in verdict.issues
 
-    def test_analyzer_cache_returns_same_object(self, analyzer):
+    def test_analyzer_cache_returns_equal_verdicts(self, analyzer):
+        # Memoized analyses return value-equal verdicts; each caller gets its
+        # own copy so mutations cannot poison the process-wide memo.
         code = get_template("cpp", "openmp", "axpy")
         first = analyzer.analyze(code, language="cpp", kernel="axpy", requested_model="cpp.openmp")
         second = analyzer.analyze(code, language="cpp", kernel="axpy", requested_model="cpp.openmp")
-        assert first is second
+        assert first == second
+        assert first is not second
 
     def test_module_level_helper(self):
         verdict = analyze_suggestion(

@@ -160,6 +160,15 @@ class TestSampler:
             suggestions = sampler.sample(Prompt.from_cell(cell), rng)
             assert len(suggestions) <= 4
 
+    def test_fuzzy_respects_tiny_budget(self, corpus, rng):
+        # The fuzzy state draws its correct-suggestion count independently of
+        # the budget; a budget of 1 must still cap the list.
+        sampler = SuggestionSampler(config=CodexConfig(max_suggestions=1), corpus=corpus)
+        prompt = Prompt(kernel="gemv", model_uid="fortran.openmp", postfix="subroutine")
+        for _ in range(20):
+            suggestions = sampler.sample_for_state(prompt, KnowledgeState.FUZZY, rng)
+            assert len(suggestions) <= 1
+
 
 class TestEngine:
     def test_completions_are_deterministic_per_seed(self, corpus):
