@@ -10,9 +10,10 @@ reported by pytest-benchmark; correctness of the reproduction is asserted.
 from __future__ import annotations
 
 from repro.analysis.analyzer import clear_verdict_memo
-from repro.codex.config import DEFAULT_SEED, CodexConfig
+from repro.api import Session
+from repro.codex.config import DEFAULT_SEED
 from repro.core.compare import ShapeComparison, compare_to_paper
-from repro.core.runner import EvaluationRunner, ResultSet
+from repro.core.runner import ResultSet
 
 __all__ = ["evaluate_language", "evaluate_full_grid", "assert_shape_agreement", "DEFAULT_SEED"]
 
@@ -20,22 +21,23 @@ __all__ = ["evaluate_language", "evaluate_full_grid", "assert_shape_agreement", 
 def evaluate_language(language: str, *, seed: int = DEFAULT_SEED, backend: str = "serial") -> ResultSet:
     """Run the full evaluation for one language's table.
 
-    The process-wide verdict memo is cleared first, so every benchmark
-    iteration pays the full analysis/execution cost instead of timing memo
+    Each call drives a fresh :class:`repro.api.Session` (empty result cache)
+    and clears the process-wide verdict memo first, so every benchmark
+    iteration pays the full analysis/execution cost instead of timing cache
     hits.  (The memoized corpus is left warm: template construction is
     infrastructure, not the measured pipeline.)
     """
     clear_verdict_memo()
-    with EvaluationRunner(config=CodexConfig(), seed=seed, backend=backend) as runner:
-        return runner.run_language(language)
+    with Session(seed=seed, backend=backend) as session:
+        return session.language_results(language)
 
 
 def evaluate_full_grid(*, seed: int = DEFAULT_SEED, backend: str = "serial") -> ResultSet:
-    """Run the evaluation for every cell of the Table 1 grid (cold verdict
-    memo, see :func:`evaluate_language`)."""
+    """Run the evaluation for every cell of the Table 1 grid (cold caches,
+    see :func:`evaluate_language`)."""
     clear_verdict_memo()
-    with EvaluationRunner(config=CodexConfig(), seed=seed, backend=backend) as runner:
-        return runner.run_full_grid()
+    with Session(seed=seed, backend=backend) as session:
+        return session.full_results()
 
 
 def assert_shape_agreement(results: ResultSet, language: str) -> ShapeComparison:

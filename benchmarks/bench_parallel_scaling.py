@@ -1,11 +1,14 @@
 """E-PERF: wall-clock scaling of full-grid evaluation across executor backends.
 
 Times the complete Table 1 grid under the ``serial`` and ``process``
-backends of :class:`repro.core.runner.EvaluationRunner` (cold caches, so the
-numbers reflect the true pipeline cost, not memo hits), verifies the two
-backends produce byte-identical records, then times every experiment id once
-through the fingerprint-keyed harness cache.  The measurements are written to
-``BENCH_perf.json`` at the repo root to seed the perf trajectory.
+backends (cold caches, so the numbers reflect the true pipeline cost, not
+memo hits), verifies the two backends produce byte-identical records, then
+times a sharded run — the grid split into ``SHARD_COUNT`` independent
+:class:`repro.api.Shard`s, each evaluated by its own fresh
+:class:`repro.api.Session` as if on a separate machine, plus the
+manifest-validated merge — and finally every experiment id once through one
+session's result cache.  The measurements are written to ``BENCH_perf.json``
+at the repo root to extend the perf trajectory.
 
 Runs standalone (``python benchmarks/bench_parallel_scaling.py``) or under
 pytest.
@@ -25,13 +28,14 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _shared import DEFAULT_SEED
 
 from repro.analysis.analyzer import clear_verdict_memo
-from repro.codex.config import CodexConfig
-from repro.core.runner import EvaluationRunner
+from repro.api import ExperimentSpec, Session, merge_shard_parts
 from repro.corpus.store import clear_default_corpus_cache, default_corpus
-from repro.harness import experiments
 
 #: Backends measured for the scaling record.
 SCALING_BACKENDS = ("serial", "process")
+
+#: Number of single-machine shards timed for the sharded-vs-unsharded record.
+SHARD_COUNT = 4
 
 #: Timing repeats per backend (best-of, to damp scheduler noise).
 REPEATS = 3
@@ -43,14 +47,13 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 def _cold_caches() -> None:
     clear_verdict_memo()
     clear_default_corpus_cache()
-    experiments.clear_result_cache()
 
 
 def _time_full_grid(backend: str, cores: int) -> tuple[float, list[dict]]:
     """Best-of-``REPEATS`` wall-clock for the full grid under one backend.
 
     The corpus is pre-built before timing (on fork platforms workers inherit
-    it copy-on-write), and every repeat starts from a fresh runner and a
+    it copy-on-write), and every repeat starts from a fresh session and a
     cleared verdict memo, so both backends pay identical cold-analysis cost:
     the serial memo is cleared in-process, and a new worker pool (with empty
     worker-side memos) is spawned inside the timed region.
@@ -60,21 +63,46 @@ def _time_full_grid(backend: str, cores: int) -> tuple[float, list[dict]]:
     best = float("inf")
     for _ in range(REPEATS):
         clear_verdict_memo()
-        with EvaluationRunner(
-            config=CodexConfig(),
+        with Session(
             seed=DEFAULT_SEED,
             backend=backend,
             max_workers=min(cores, 8) if backend != "serial" else None,
-        ) as runner:
+        ) as session:
             start = time.perf_counter()
-            results = runner.run_full_grid()
+            results = session.full_results()
             best = min(best, time.perf_counter() - start)
     return best, results.to_records()
 
 
+def _time_sharded_grid(n: int) -> tuple[float, float, list[dict]]:
+    """Simulated ``n``-machine run of the grid.
+
+    Each shard is evaluated by its own fresh serial Session with a cleared
+    verdict memo (every machine pays its own analysis cost); the recorded
+    wall-clock is the critical path — the slowest shard — plus the
+    manifest-validated merge.  Returns (critical path, merge time, records).
+    """
+    spec = ExperimentSpec(seeds=(DEFAULT_SEED,))
+    _cold_caches()
+    default_corpus()
+    parts = []
+    shard_times = []
+    for shard in spec.partition(n):
+        clear_verdict_memo()
+        with Session(seed=DEFAULT_SEED) as session:
+            start = time.perf_counter()
+            results = session.run(shard)
+            shard_times.append(time.perf_counter() - start)
+        parts.append((shard.entry(), results))
+    start = time.perf_counter()
+    merged = merge_shard_parts(parts)[DEFAULT_SEED]
+    merge_time = time.perf_counter() - start
+    return max(shard_times), merge_time, merged.to_records()
+
+
 def collect_perf_record() -> dict:
-    """Measure backend scaling plus per-experiment wall-clock and return the
-    BENCH_perf record (also asserting serial/process records agree)."""
+    """Measure backend scaling, sharded-vs-unsharded wall-clock and
+    per-experiment timings, asserting all evaluation paths agree."""
     cores = os.cpu_count() or 1
     record: dict = {
         "bench": "parallel_scaling",
@@ -94,20 +122,32 @@ def collect_perf_record() -> dict:
     process_s = record["experiments"]["full_grid[process]"]
     record["process_speedup"] = round(serial_s / process_s, 3) if process_s else None
 
-    # Per-experiment wall-clock through the shared result cache: the first
+    # Sharded critical path: what an n-machine shard/merge deployment costs.
+    critical, merge_time, sharded_records = _time_sharded_grid(SHARD_COUNT)
+    assert sharded_records == grid_records["serial"], (
+        "sharded merge diverged from the unsharded serial records"
+    )
+    record["experiments"][f"full_grid[sharded x{SHARD_COUNT}]"] = round(critical + merge_time, 4)
+    record["experiments"]["shard_merge"] = round(merge_time, 4)
+    record["shard_speedup"] = (
+        round(serial_s / (critical + merge_time), 3) if critical + merge_time else None
+    )
+
+    # Per-experiment wall-clock through one session's result cache: the first
     # run of each (seed, fingerprint) pays, everything downstream reuses it.
     _cold_caches()
-    timed_calls = [
-        *((f"table{n}", lambda n=n: experiments.run_table(n, seed=DEFAULT_SEED)) for n in (2, 3, 4, 5)),
-        *((f"figure{n}", lambda n=n: experiments.run_figure(n, seed=DEFAULT_SEED)) for n in (2, 3, 4, 5, 6)),
-        ("ablation-keywords", lambda: experiments.run_keyword_ablation(seed=DEFAULT_SEED)),
-        ("ablation-maturity", lambda: experiments.run_maturity_ablation(seed=DEFAULT_SEED)),
-        ("ablation-suggestions", lambda: experiments.run_suggestion_count_ablation(seed=DEFAULT_SEED)),
-    ]
-    for experiment_id, call in timed_calls:
-        start = time.perf_counter()
-        call()
-        record["experiments"][experiment_id] = round(time.perf_counter() - start, 4)
+    with Session(seed=DEFAULT_SEED) as session:
+        timed_calls = [
+            *((f"table{n}", lambda n=n: session.table(n)) for n in (2, 3, 4, 5)),
+            *((f"figure{n}", lambda n=n: session.figure(n)) for n in (2, 3, 4, 5, 6)),
+            ("ablation-keywords", lambda: session.ablation("keywords")),
+            ("ablation-maturity", lambda: session.ablation("maturity")),
+            ("ablation-suggestions", lambda: session.ablation("suggestions")),
+        ]
+        for experiment_id, call in timed_calls:
+            start = time.perf_counter()
+            call()
+            record["experiments"][experiment_id] = round(time.perf_counter() - start, 4)
     return record
 
 
@@ -128,7 +168,10 @@ def test_parallel_scaling(capsys=None):
     print(f"wrote {BENCH_PATH}")
     for key, seconds in sorted(record["experiments"].items()):
         print(f"  {key:24s} {seconds:8.4f}s")
-    print(f"  cores={record['cores']} process speedup x{record['process_speedup']}")
+    print(
+        f"  cores={record['cores']} process speedup x{record['process_speedup']} "
+        f"sharded-x{SHARD_COUNT} speedup x{record['shard_speedup']}"
+    )
 
 
 if __name__ == "__main__":

@@ -12,30 +12,28 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core.compare import compare_to_paper
-from repro.core.runner import EvaluationRunner
-from repro.harness.figures import render_overall_figure
+from repro.api import Session
 from repro.harness.io import save_records_csv, save_records_json
-from repro.harness.tables import render_language_table
 from repro.models.languages import get_language, language_names
 
 
 def main() -> None:
-    runner = EvaluationRunner(seed=20230414)
-    results = runner.run_full_grid()
+    with Session(seed=20230414) as session:
+        results = session.full_results()
 
-    for language in language_names():
-        print(render_language_table(results, language))
-        comparison = compare_to_paper(results, language)
-        display = get_language(language).display_name
-        print(
-            f"--> {display}: rank correlation {comparison.cell_rank_correlation:+.2f}, "
-            f"{comparison.within_one_level:.0%} of cells within one rubric level, "
-            f"top model agrees: {comparison.top_model_agrees}"
-        )
-        print()
+        for number, language in zip((2, 3, 4, 5), language_names()):
+            report = session.table(number)
+            print(report.text)
+            comparison = report.comparison
+            display = get_language(language).display_name
+            print(
+                f"--> {display}: rank correlation {comparison.cell_rank_correlation:+.2f}, "
+                f"{comparison.within_one_level:.0%} of cells within one rubric level, "
+                f"top model agrees: {comparison.top_model_agrees}"
+            )
+            print()
 
-    print(render_overall_figure(results))
+        print(session.overall_figure().text)
 
     out_dir = Path(__file__).resolve().parent.parent / "results"
     csv_path = save_records_csv(results, out_dir / "full_grid.csv")

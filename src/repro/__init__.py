@@ -22,7 +22,12 @@ methodology:
   kernel interpreter.
 * :mod:`repro.core` — the proficiency metric, the suggestion-set evaluator,
   the experiment runner, aggregation and the embedded paper reference data.
-* :mod:`repro.harness` — table/figure reproduction entry points and the CLI.
+* :mod:`repro.harness` — table/figure rendering, record persistence and the
+  CLI (including the ``shard``/``merge`` subcommands).
+* :mod:`repro.api` — **the supported entry point**: the :class:`Session`
+  façade (per-session caching, backend selection, progress) plus the
+  declarative, shardable :class:`ExperimentSpec`/:class:`Shard` grids with
+  mergeable ``ResultSet``s and validating ``ShardManifest``s.
 """
 
 from __future__ import annotations

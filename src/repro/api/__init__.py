@@ -1,0 +1,57 @@
+"""repro.api — the supported public surface of the reproduction.
+
+Everything downstream code needs lives here:
+
+* :class:`Session` — context-managed façade owning result caching, backend
+  selection, pooled runners and progress callbacks
+  (``session.table(2)``, ``session.figure(4)``,
+  ``session.ablation("keywords")``, ``session.run(spec)``,
+  ``session.sweep(seeds=[...])``, ``session.run_everything()``).
+* :class:`ExperimentSpec` / :class:`Shard` / :class:`ShardManifest` — the
+  declarative, shardable description of a run and the manifest that
+  validates partial results before merging.
+* :class:`~repro.core.runner.ResultSet` (re-exported) with
+  :meth:`~repro.core.runner.ResultSet.merge` and the
+  ``to_payload``/``from_payload`` JSON round trip.
+* The shard payload helpers behind the ``repro shard`` / ``repro merge``
+  CLI subcommands.
+
+The free functions in :mod:`repro.harness.experiments` are deprecated thin
+wrappers over the process-default :class:`Session`.
+"""
+
+from __future__ import annotations
+
+from repro.core.runner import RecordResult, ResultSet
+from repro.harness.experiments import ExperimentReport
+
+from repro.api.session import Session, default_session, reset_default_session
+from repro.api.spec import (
+    SHARD_FORMAT,
+    ExperimentSpec,
+    Shard,
+    ShardEntry,
+    ShardManifest,
+    load_shard_payload,
+    merge_shard_parts,
+    merge_shard_payloads,
+    shard_payload,
+)
+
+__all__ = [
+    "Session",
+    "default_session",
+    "reset_default_session",
+    "ExperimentSpec",
+    "Shard",
+    "ShardEntry",
+    "ShardManifest",
+    "SHARD_FORMAT",
+    "shard_payload",
+    "load_shard_payload",
+    "merge_shard_parts",
+    "merge_shard_payloads",
+    "ResultSet",
+    "RecordResult",
+    "ExperimentReport",
+]

@@ -1,0 +1,514 @@
+"""The :class:`Session` façade — the supported entry point for experiments.
+
+A ``Session`` owns everything the legacy free functions in
+:mod:`repro.harness.experiments` used to keep in module-global state:
+
+* the result cache, keyed on ``(seed, language, config fingerprint)`` and
+  LRU-bounded — now *session-scoped*, so two sessions never share results
+  and tests get isolation by construction;
+* backend selection (``serial`` / ``thread`` / ``process``) plus pooled
+  :class:`~repro.core.runner.EvaluationRunner`s that are reused across calls
+  and closed together when the session closes;
+* progress callbacks, forwarded to every runner the session creates.
+
+``session.table(2)``, ``session.figure(4)``, ``session.ablation("keywords")``
+reproduce the paper artefacts; ``session.run(spec_or_shard)`` evaluates a
+declarative :class:`~repro.api.spec.ExperimentSpec` or one of its
+:class:`~repro.api.spec.Shard`s; ``session.sweep(seeds=[...])`` runs
+multi-seed sweeps.  Thanks to the per-cell seeding contract, shard results
+merged via :meth:`repro.core.runner.ResultSet.merge` are byte-identical to
+an unsharded run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterable
+
+from repro.codex.config import DEFAULT_SEED, CodexConfig
+from repro.core.aggregate import model_averages, postfix_effect
+from repro.core.compare import compare_to_paper
+from repro.core.evaluator import CellResult
+from repro.core.runner import BACKENDS, EvaluationRunner, ResultSet
+from repro.harness.experiments import TABLE_LANGUAGES, ExperimentReport
+from repro.harness.figures import (
+    FIGURE_LANGUAGES,
+    figure_data,
+    overall_figure_data,
+    render_figure,
+    render_overall_figure,
+)
+from repro.harness.tables import render_language_table
+from repro.models.languages import get_language, language_names
+from repro.popularity.maturity import MaturityModel
+
+from repro.api.spec import ExperimentSpec, Shard
+
+__all__ = ["Session", "default_session", "reset_default_session"]
+
+#: Ablation name → Session method suffix (see :meth:`Session.ablation`).
+ABLATIONS: tuple[str, ...] = ("keywords", "maturity", "suggestions")
+
+
+class Session:
+    """Context-managed façade over the evaluation pipeline.
+
+    Parameters
+    ----------
+    seed, config, backend:
+        Session-wide defaults; every experiment method accepts per-call
+        overrides with the same names.
+    max_workers, chunk_size:
+        Forwarded to the runners the session creates (parallel backends).
+    progress:
+        Callback invoked with each :class:`CellResult` as cells complete, in
+        submission order (captured at runner creation).
+    cache_size:
+        LRU bound of the per-session result cache.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = DEFAULT_SEED,
+        config: CodexConfig | None = None,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        progress: Callable[[CellResult], None] | None = None,
+        cache_size: int = 64,
+        max_runners: int = 8,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        self.seed = int(seed)
+        self.config = config if config is not None else CodexConfig()
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self._cache: OrderedDict[tuple[int, str, str], ResultSet] = OrderedDict()
+        self._cache_max = int(cache_size)
+        self._runners: OrderedDict[tuple[int, str, str], EvaluationRunner] = OrderedDict()
+        self._runners_max = int(max_runners)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down every pooled runner and drop the cache (idempotent)."""
+        for runner in self._runners.values():
+            runner.close()
+        self._runners.clear()
+        self._cache.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self._cache)} cached runs"
+        return f"Session(seed={self.seed}, backend={self.backend!r}, {state})"
+
+    def clear_cache(self) -> None:
+        """Drop every cached :class:`ResultSet` of this session."""
+        self._cache.clear()
+
+    # -- cache plumbing -------------------------------------------------------
+    def _cache_get(self, key: tuple[int, str, str]) -> ResultSet | None:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: tuple[int, str, str], value: ResultSet) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_max:
+            self._cache.popitem(last=False)
+
+    def _resolve(
+        self,
+        seed: int | None,
+        config: CodexConfig | None,
+        backend: str | None,
+    ) -> tuple[int, CodexConfig, str]:
+        resolved_backend = self.backend if backend is None else backend
+        if resolved_backend not in BACKENDS:
+            raise ValueError(f"unknown backend {resolved_backend!r}; choose from {BACKENDS}")
+        return (
+            self.seed if seed is None else int(seed),
+            self.config if config is None else config,
+            resolved_backend,
+        )
+
+    def _runner(self, seed: int, config: CodexConfig, backend: str) -> EvaluationRunner:
+        """A pooled runner for (seed, config, backend); reused across calls so
+        parallel backends keep their worker pools warm."""
+        if self._closed:
+            raise RuntimeError("this Session is closed; create a new one")
+        key = (seed, config.fingerprint(), backend)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = EvaluationRunner(
+                config=config,
+                seed=seed,
+                backend=backend,
+                max_workers=self.max_workers,
+                chunk_size=self.chunk_size,
+                progress=self.progress,
+            )
+            self._runners[key] = runner
+        self._runners.move_to_end(key)
+        while len(self._runners) > self._runners_max:
+            _, retired = self._runners.popitem(last=False)
+            retired.close()
+        return runner
+
+    # -- core evaluation ------------------------------------------------------
+    def language_results(
+        self,
+        language: str,
+        *,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> ResultSet:
+        """Evaluate all cells of one language's table, session-cached per
+        (seed, language, config fingerprint).
+
+        The returned :class:`ResultSet` is the shared cache entry — treat it
+        as read-only and copy its results into a fresh set before adding to
+        it (as :meth:`full_results` does).
+        """
+        seed, config, backend = self._resolve(seed, config, backend)
+        name = get_language(language).name
+        key = (seed, name, config.fingerprint())
+        cached = self._cache_get(key)
+        if cached is None:
+            cached = self._runner(seed, config, backend).run_language(name)
+            self._cache_put(key, cached)
+        return cached
+
+    def full_results(
+        self,
+        *,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> ResultSet:
+        """Evaluate the full grid (all four languages), reusing cached
+        languages; missing ones share a single runner (one worker pool)."""
+        seed, config, backend = self._resolve(seed, config, backend)
+        fingerprint = config.fingerprint()
+        missing = [
+            language
+            for language in language_names()
+            if self._cache_get((seed, language, fingerprint)) is None
+        ]
+        if missing:
+            runner = self._runner(seed, config, backend)
+            for language in missing:
+                self._cache_put((seed, language, fingerprint), runner.run_language(language))
+        combined = ResultSet(seed=seed)
+        for language in language_names():
+            for result in self.language_results(language, seed=seed, config=config, backend=backend):
+                combined.add(result)
+        return combined
+
+    def run(
+        self,
+        spec: ExperimentSpec | Shard,
+        *,
+        backend: str | None = None,
+    ) -> ResultSet | dict[int, ResultSet]:
+        """Evaluate a declarative spec or one shard of it.
+
+        A :class:`Shard` evaluates just its cell slice (uncached — shards
+        cut across the per-language cache grain) and returns a
+        :class:`ResultSet` ready for :func:`repro.api.spec.shard_payload`.
+        A single-seed :class:`ExperimentSpec` returns one :class:`ResultSet`;
+        a multi-seed spec returns ``{seed: ResultSet}``.
+        """
+        if isinstance(spec, Shard):
+            _, _, resolved = self._resolve(None, None, backend)
+            runner = self._runner(spec.seed, spec.spec.config, resolved)
+            results = runner.run_cells(spec.cells())
+            return results
+        per_seed = {
+            seed: self._run_spec_at_seed(spec, seed, backend) for seed in spec.seeds
+        }
+        if len(spec.seeds) == 1:
+            return per_seed[spec.seeds[0]]
+        return per_seed
+
+    def _run_spec_at_seed(
+        self, spec: ExperimentSpec, seed: int, backend: str | None
+    ) -> ResultSet:
+        if spec.models is None and spec.kernels is None:
+            # Whole-language grids resolve through the session cache.
+            combined = ResultSet(seed=seed)
+            for language in spec.languages:
+                for result in self.language_results(
+                    language, seed=seed, config=spec.config, backend=backend
+                ):
+                    combined.add(result)
+            return combined
+        _, _, resolved = self._resolve(None, None, backend)
+        return self._runner(seed, spec.config, resolved).run_cells(spec.cells())
+
+    def sweep(
+        self,
+        seeds: Iterable[int],
+        *,
+        languages: Iterable[str] | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> dict[int, ResultSet]:
+        """Run the (optionally language-restricted) grid for several seeds.
+
+        Always returns ``{seed: ResultSet}`` in the given seed order; progress
+        callbacks fire per cell exactly as for single runs.
+        """
+        spec = ExperimentSpec(
+            seeds=tuple(seeds),
+            languages=None if languages is None else tuple(languages),
+            config=self.config if config is None else config,
+        )
+        results = self.run(spec, backend=backend)
+        if isinstance(results, ResultSet):
+            return {spec.seeds[0]: results}
+        return results
+
+    # -- paper artefacts ------------------------------------------------------
+    def table(
+        self,
+        number: int,
+        *,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> ExperimentReport:
+        """Reproduce Table ``number`` (2 = C++, 3 = Fortran, 4 = Python, 5 = Julia)."""
+        if number not in TABLE_LANGUAGES:
+            raise KeyError(
+                f"the paper has no result table {number}; choose from {sorted(TABLE_LANGUAGES)}"
+            )
+        language = TABLE_LANGUAGES[number]
+        results = self.language_results(language, seed=seed, config=config, backend=backend)
+        comparison = compare_to_paper(results, language)
+        lang_display = get_language(language).display_name
+        return ExperimentReport(
+            experiment_id=f"table{number}",
+            description=f"Table {number}: proficiency scores for {lang_display}",
+            data={
+                "language": language,
+                "records": results.to_records(),
+                "cells": comparison.cells,
+            },
+            comparison=comparison,
+            text=render_language_table(results, language),
+        )
+
+    def figure(
+        self,
+        number: int,
+        *,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> ExperimentReport:
+        """Reproduce Figure ``number`` (2 = C++, ..., 5 = Julia, 6 = overall)."""
+        if number == 6:
+            return self.overall_figure(seed=seed, config=config, backend=backend)
+        if number not in FIGURE_LANGUAGES:
+            raise KeyError(
+                f"the paper has no figure {number}; choose from {sorted(FIGURE_LANGUAGES)} or 6"
+            )
+        language = FIGURE_LANGUAGES[number]
+        results = self.language_results(language, seed=seed, config=config, backend=backend)
+        comparison = compare_to_paper(results, language)
+        lang_display = get_language(language).display_name
+        return ExperimentReport(
+            experiment_id=f"figure{number}",
+            description=f"Figure {number}: per-kernel and per-model averages for {lang_display}",
+            data=figure_data(results, language),
+            comparison=comparison,
+            text=render_figure(results, language),
+        )
+
+    def overall_figure(
+        self,
+        *,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> ExperimentReport:
+        """Reproduce Figure 6: overall per-kernel and per-language averages."""
+        results = self.full_results(seed=seed, config=config, backend=backend)
+        return ExperimentReport(
+            experiment_id="figure6",
+            description="Figure 6: overall averages per kernel and per language",
+            data=overall_figure_data(results),
+            comparison=None,
+            text=render_overall_figure(results),
+        )
+
+    # -- ablations (DESIGN.md §4: A-KW, A-MAT, A-SUG) --------------------------
+    def ablation(self, name: str, **params) -> ExperimentReport:
+        """Run one ablation: ``"keywords"``, ``"maturity"`` or ``"suggestions"``.
+
+        Extra keyword arguments are forwarded to the specific ablation
+        (``scales`` for maturity, ``counts`` for suggestions, plus the usual
+        ``seed``/``config``/``backend`` overrides).
+        """
+        runners = {
+            "keywords": self.keyword_ablation,
+            "maturity": self.maturity_ablation,
+            "suggestions": self.suggestion_count_ablation,
+        }
+        if name not in runners:
+            raise KeyError(f"unknown ablation {name!r}; choose from {ABLATIONS}")
+        return runners[name](**params)
+
+    def keyword_ablation(
+        self,
+        *,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> ExperimentReport:
+        """A-KW: effect of the post-fix keyword per language."""
+        results = self.full_results(seed=seed, config=config, backend=backend)
+        effects = {}
+        for language in language_names():
+            effects[language] = postfix_effect(results, language)
+        lines = ["Keyword post-fix effect (mean score without -> with keyword)"]
+        for language, effect in effects.items():
+            lines.append(
+                f"  {get_language(language).display_name:8s} "
+                f"{effect['without_keyword']:.2f} -> {effect['with_keyword']:.2f} "
+                f"(delta {effect['delta']:+.2f})"
+            )
+        return ExperimentReport(
+            experiment_id="ablation-keywords",
+            description="Effect of adding the language code keyword to the prompt",
+            data={"effects": effects},
+            text="\n".join(lines),
+        )
+
+    def maturity_ablation(
+        self,
+        *,
+        seed: int | None = None,
+        scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25),
+        backend: str | None = None,
+    ) -> ExperimentReport:
+        """A-MAT: how the model-maturity prior weight shifts the score ordering.
+
+        Scale 1.0 fingerprints equal to the default config, so that point
+        reuses the session's cached Table 2 run.
+        """
+        orderings: dict[float, list[str]] = {}
+        stability: dict[float, bool] = {}
+        for scale in scales:
+            maturity = MaturityModel(model_weight=0.62 * scale)
+            config = CodexConfig(maturity=maturity)
+            results = self.language_results("cpp", seed=seed, config=config, backend=backend)
+            averages = model_averages(results, "cpp")
+            ranked = sorted(averages, key=averages.get, reverse=True)
+            orderings[scale] = ranked
+            stability[scale] = "cpp.openmp" in set(ranked[:3])
+        lines = ["Maturity-prior ablation (C++ model ranking per scale)"]
+        for scale, ranked in orderings.items():
+            names = ", ".join(uid.split(".")[1] for uid in ranked[:4])
+            lines.append(
+                f"  scale {scale:>4}: top models = {names} (OpenMP in top 3: {stability[scale]})"
+            )
+        return ExperimentReport(
+            experiment_id="ablation-maturity",
+            description="Sensitivity of the C++ model ranking to the maturity prior weight",
+            data={"orderings": orderings, "openmp_in_top3": stability},
+            text="\n".join(lines),
+        )
+
+    def suggestion_count_ablation(
+        self,
+        *,
+        seed: int | None = None,
+        counts: tuple[int, ...] = (1, 3, 5, 10, 20),
+        backend: str | None = None,
+    ) -> ExperimentReport:
+        """A-SUG: rubric behaviour as the suggestion budget changes.
+
+        Each budget is a standard grid run under that config; the budget-10
+        point fingerprints to the default config and reuses its cached run.
+        """
+        means: dict[int, float] = {}
+        for count in counts:
+            config = CodexConfig(max_suggestions=count)
+            results = self.language_results("cpp", seed=seed, config=config, backend=backend)
+            means[count] = results.mean_score()
+        lines = ["Suggestion-budget ablation (mean C++ score per suggestion count)"]
+        for count, mean in means.items():
+            lines.append(f"  first {count:>2} suggestions: mean score {mean:.3f}")
+        return ExperimentReport(
+            experiment_id="ablation-suggestions",
+            description="Sensitivity of the proficiency metric to the suggestion budget",
+            data={"means": means},
+            text="\n".join(lines),
+        )
+
+    def run_everything(
+        self, *, seed: int | None = None, backend: str | None = None
+    ) -> dict[str, ExperimentReport]:
+        """Run every table, figure and ablation (used by the CLI).
+
+        The default-config grid is evaluated exactly once up front; every
+        table, figure and the keyword ablation then resolve from the session
+        cache, and the remaining ablations only evaluate the config points
+        whose fingerprint differs from the default.
+        """
+        self.full_results(seed=seed, backend=backend)
+        reports: dict[str, ExperimentReport] = {}
+        for number in sorted(TABLE_LANGUAGES):
+            report = self.table(number, seed=seed, backend=backend)
+            reports[report.experiment_id] = report
+        for number in (2, 3, 4, 5, 6):
+            report = self.figure(number, seed=seed, backend=backend)
+            reports[report.experiment_id] = report
+        for report in (
+            self.keyword_ablation(seed=seed, backend=backend),
+            self.maturity_ablation(seed=seed, backend=backend),
+            self.suggestion_count_ablation(seed=seed, backend=backend),
+        ):
+            reports[report.experiment_id] = report
+        return reports
+
+
+# ---------------------------------------------------------------------------
+# The process-default session: what the deprecated free functions in
+# repro.harness.experiments resolve through.  Tests swap it per test via
+# reset_default_session() (see tests/conftest.py) so cached runs never leak.
+# ---------------------------------------------------------------------------
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The lazily-created process-default :class:`Session`."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION
+
+
+def reset_default_session() -> Session:
+    """Close and replace the process-default session; returns the fresh one."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is not None:
+        _DEFAULT_SESSION.close()
+    _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

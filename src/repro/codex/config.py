@@ -111,8 +111,11 @@ class CodexConfig:
     # -- identity -------------------------------------------------------------
     def fingerprint(self) -> str:
         """Stable digest of every tunable parameter (including the maturity
-        prior), used to key result caches: two configs with equal parameters
-        fingerprint identically even when they are distinct instances."""
+        prior), used to key result caches and shard manifests: two configs
+        with equal parameters fingerprint identically even when they are
+        distinct instances.  Recomputed on every call — the dataclass is
+        frozen but its dict-valued fields are not, so memoizing here would
+        hand a mutated config its pre-mutation digest."""
 
         def encode(value):
             if dataclasses.is_dataclass(value) and not isinstance(value, type):

@@ -30,12 +30,45 @@ from typing import Callable, Iterable, Sequence
 from repro.codex.config import DEFAULT_SEED, CodexConfig
 from repro.codex.engine import SimulatedCodex
 from repro.core.evaluator import CellResult, PromptEvaluator
-from repro.models.grid import ExperimentCell, cells_for_language, experiment_grid
+from repro.models.grid import (
+    ExperimentCell,
+    canonical_cell_position,
+    cells_for_language,
+    experiment_grid,
+)
 
-__all__ = ["ResultSet", "EvaluationRunner", "BACKENDS"]
+__all__ = ["ResultSet", "RecordResult", "EvaluationRunner", "BACKENDS"]
 
 #: Executor backends understood by :class:`EvaluationRunner`.
 BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+class RecordResult:
+    """A persisted per-cell record re-hydrated as a :class:`ResultSet` element.
+
+    Carries exactly the flat dictionary :meth:`CellResult.to_record` produced
+    (suggestions and verdicts are not persisted), so a JSON or CSV round trip
+    reproduces ``to_records()`` verbatim — including the postfix cells, whose
+    keyword is stored in the record rather than re-derived.
+    """
+
+    __slots__ = ("cell", "_record")
+
+    def __init__(self, record: dict) -> None:
+        self._record = dict(record)
+        self.cell = ExperimentCell(
+            language=record["language"],
+            model=record["model"],
+            kernel=record["kernel"],
+            use_postfix=bool(record["use_postfix"]),
+        )
+
+    @property
+    def score(self) -> float:
+        return self._record["score"]
+
+    def to_record(self) -> dict:
+        return dict(self._record)
 
 
 @dataclass
@@ -45,6 +78,8 @@ class ResultSet:
     ``add`` maintains dict indexes keyed on the cell coordinates, so
     :meth:`score` is O(1) and :meth:`filter` only scans the candidate list
     of the most selective criterion instead of the whole collection.
+    Elements are :class:`CellResult`s when produced by a runner, or
+    :class:`RecordResult`s when re-hydrated from persisted records.
     """
 
     results: list[CellResult] = field(default_factory=list)
@@ -127,6 +162,66 @@ class ResultSet:
 
     def to_records(self) -> list[dict]:
         return [result.to_record() for result in self.results]
+
+    # -- persistence and sharding ---------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serialisable payload (inverse of :meth:`from_payload`)."""
+        return {"format": "repro.resultset/v1", "seed": self.seed, "records": self.to_records()}
+
+    @classmethod
+    def from_payload(cls, payload: dict | Iterable[dict], *, seed: int | None = None) -> "ResultSet":
+        """Re-hydrate a result set from :meth:`to_payload` output or from a bare
+        list of records (as loaded back from ``save_records_json`` /
+        ``save_records_csv`` files).  Elements become :class:`RecordResult`s:
+        ``to_records()``, ``score()`` and ``filter()`` behave exactly as on the
+        originating set; suggestions and verdicts are not reconstructed.
+        """
+        if isinstance(payload, dict):
+            records = payload["records"]
+            if seed is None:
+                seed = payload.get("seed", DEFAULT_SEED)
+        else:
+            records = list(payload)
+            if seed is None:
+                seed = DEFAULT_SEED
+        out = cls(seed=seed)
+        for record in records:
+            out.add(RecordResult(record))
+        return out
+
+    @classmethod
+    def merge(cls, *parts: "ResultSet") -> "ResultSet":
+        """Combine disjoint partial result sets into one canonically-ordered set.
+
+        Parts may arrive in any order (shards finish at different times on
+        different machines): the merged set is sorted into the canonical
+        experiment-grid enumeration, so any partition of the grid merges back
+        to the exact record sequence of an unsharded run.  All parts must
+        share one seed, and no two parts may contain the same cell.  Cells
+        outside the standard grid keep their encounter order after the known
+        ones.  Completeness is *not* checked here — that is the job of
+        :class:`repro.api.ShardManifest`.
+        """
+        if not parts:
+            raise ValueError("merge needs at least one ResultSet")
+        seeds = {part.seed for part in parts}
+        if len(seeds) > 1:
+            raise ValueError(f"cannot merge result sets with mixed seeds: {sorted(seeds)}")
+        seen: set[tuple[str, str, bool]] = set()
+        keyed: list[tuple[tuple[int, int], CellResult | RecordResult]] = []
+        for encounter, result in enumerate(r for part in parts for r in part):
+            cell = result.cell
+            key = (cell.model, cell.kernel, cell.use_postfix)
+            if key in seen:
+                raise ValueError(f"duplicate cell in merge: {cell.cell_id}")
+            seen.add(key)
+            position = canonical_cell_position(*key)
+            sort_key = (0, position) if position is not None else (1, encounter)
+            keyed.append((sort_key, result))
+        merged = cls(seed=seeds.pop())
+        for _, result in sorted(keyed, key=lambda pair: pair[0]):
+            merged.add(result)
+        return merged
 
 
 # ---------------------------------------------------------------------------

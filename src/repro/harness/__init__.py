@@ -1,11 +1,15 @@
-"""Reproduction harness: one entry point per table and figure of the paper.
+"""Reproduction harness: rendering, persistence and the CLI.
 
-The functions in :mod:`repro.harness.experiments` regenerate the paper's
-artefacts (Tables 2-5, Figures 2-6) plus the ablations listed in DESIGN.md;
-:mod:`repro.harness.tables` and :mod:`repro.harness.figures` render them as
-text; :mod:`repro.harness.io` persists raw per-cell records; and
-:mod:`repro.harness.cli` wires everything into the ``repro-hpc-codex``
-command-line tool.
+The supported programmatic surface is :mod:`repro.api` — hold a
+:class:`repro.api.Session` and call ``session.table(2)`` /
+``session.figure(6)`` / ``session.ablation("keywords")`` /
+``session.run(spec)``.  Within this package,
+:mod:`repro.harness.tables` and :mod:`repro.harness.figures` render
+artefacts as text; :mod:`repro.harness.io` persists raw per-cell records;
+:mod:`repro.harness.cli` wires everything (including the ``shard`` /
+``merge`` subcommands) into the ``repro-hpc-codex`` command-line tool; and
+:mod:`repro.harness.experiments` keeps the legacy free functions alive as
+deprecated wrappers over the process-default session.
 """
 
 from __future__ import annotations

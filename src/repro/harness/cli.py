@@ -12,12 +12,25 @@ Sub-commands
 ``compare``    Print the shape-agreement summary for every language.
 ``prompt``     Show the suggestions generated for a single prompt (debugging
                / exploration aid).
+``shard``      Evaluate one shard of the experiment grid and emit a JSON
+               payload (manifest entry + records) for a later ``merge``.
+``merge``      Validate shard payloads for completeness/consistency and merge
+               them into the records of the unsharded run, byte-identically.
+
+Every command drives a :class:`repro.api.Session`; a two-machine split of
+the full grid looks like::
+
+    repro-hpc-codex shard --index 0 --of 2 --out part0.json   # machine A
+    repro-hpc-codex shard --index 1 --of 2 --out part1.json   # machine B
+    repro-hpc-codex merge part0.json part1.json --json full.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.codex.config import DEFAULT_SEED
 from repro.codex.engine import SimulatedCodex
@@ -25,7 +38,7 @@ from repro.codex.prompt import Prompt
 from repro.core.compare import compare_to_paper
 from repro.core.evaluator import PromptEvaluator
 from repro.core.runner import BACKENDS
-from repro.harness import experiments
+from repro.harness.experiments import TABLE_LANGUAGES
 from repro.harness.io import save_records_csv, save_records_json
 from repro.models.grid import ExperimentCell
 from repro.models.languages import get_language, language_names
@@ -53,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", type=str, default=None, help="write per-cell records to this JSON file")
 
     table = sub.add_parser("table", help="reproduce one of Tables 2-5")
-    table.add_argument("number", type=int, choices=sorted(experiments.TABLE_LANGUAGES))
+    table.add_argument("number", type=int, choices=sorted(TABLE_LANGUAGES))
 
     figure = sub.add_parser("figure", help="reproduce one of Figures 2-6")
     figure.add_argument("number", type=int, choices=[2, 3, 4, 5, 6])
@@ -68,17 +81,43 @@ def build_parser() -> argparse.ArgumentParser:
     prompt.add_argument("model", help="programming model uid, e.g. cpp.openmp")
     prompt.add_argument("--keyword", action="store_true", help="append the language post-fix keyword")
 
+    shard = sub.add_parser(
+        "shard", help="evaluate one shard of the grid and emit its JSON payload"
+    )
+    shard.add_argument("--index", type=int, required=True, help="shard index, 0-based")
+    shard.add_argument("--of", type=int, required=True, help="number of shards the grid is split into")
+    shard.add_argument(
+        "--languages", nargs="+", default=None, help="restrict the grid to these languages"
+    )
+    shard.add_argument(
+        "--kernels", nargs="+", default=None, help="restrict the grid to these kernels"
+    )
+    shard.add_argument(
+        "--out", type=str, default="-", help="payload output path ('-' = stdout, the default)"
+    )
+
+    merge = sub.add_parser(
+        "merge", help="validate shard payloads and merge them into the full records"
+    )
+    merge.add_argument(
+        "parts", nargs="*", help="shard payload files (none or '-': read one payload/list from stdin)"
+    )
+    merge.add_argument("--csv", type=str, default=None, help="write merged records to this CSV file")
+    merge.add_argument(
+        "--json", type=str, default=None, help="write merged records to this JSON file ('-' = stdout)"
+    )
+
     return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    results = experiments.run_full_results(seed=args.seed, backend=args.backend)
-    for number in sorted(experiments.TABLE_LANGUAGES):
-        report = experiments.run_table(number, seed=args.seed)
+def _cmd_run(args: argparse.Namespace, session) -> int:
+    results = session.full_results()
+    for number in sorted(TABLE_LANGUAGES):
+        report = session.table(number)
         print(report.text)
         print(report.summary_line())
         print()
-    print(experiments.run_overall_figure(seed=args.seed).text)
+    print(session.overall_figure().text)
     if args.csv:
         path = save_records_csv(results, args.csv)
         print(f"wrote {path}")
@@ -88,36 +127,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table(args: argparse.Namespace) -> int:
-    report = experiments.run_table(args.number, seed=args.seed, backend=args.backend)
+def _cmd_table(args: argparse.Namespace, session) -> int:
+    report = session.table(args.number)
     print(report.text)
     print()
     print(report.summary_line())
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
-    report = experiments.run_figure(args.number, seed=args.seed, backend=args.backend)
+def _cmd_figure(args: argparse.Namespace, session) -> int:
+    report = session.figure(args.number)
     print(report.text)
     print()
     print(report.summary_line())
     return 0
 
 
-def _cmd_ablation(args: argparse.Namespace) -> int:
-    runners = {
-        "keywords": experiments.run_keyword_ablation,
-        "maturity": experiments.run_maturity_ablation,
-        "suggestions": experiments.run_suggestion_count_ablation,
-    }
-    report = runners[args.name](seed=args.seed, backend=args.backend)
+def _cmd_ablation(args: argparse.Namespace, session) -> int:
+    report = session.ablation(args.name)
     print(report.text)
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
+def _cmd_compare(args: argparse.Namespace, session) -> int:
     for language in language_names():
-        results = experiments.run_language_results(language, seed=args.seed, backend=args.backend)
+        results = session.language_results(language)
         comparison = compare_to_paper(results, language)
         display = get_language(language).display_name
         print(
@@ -129,7 +163,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_prompt(args: argparse.Namespace) -> int:
+def _cmd_prompt(args: argparse.Namespace, session) -> int:
     model_uid = args.model.lower()
     language = model_uid.split(".", 1)[0]
     cell = ExperimentCell(
@@ -147,6 +181,55 @@ def _cmd_prompt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace, session) -> int:
+    from repro.api.spec import ExperimentSpec, shard_payload
+
+    spec = ExperimentSpec(
+        seeds=(args.seed,),
+        languages=None if args.languages is None else tuple(args.languages),
+        kernels=None if args.kernels is None else tuple(args.kernels),
+    )
+    shard = spec.shard(args.index, args.of)
+    results = session.run(shard)
+    payload = json.dumps(shard_payload(shard, results), indent=2, sort_keys=True)
+    if args.out == "-":
+        print(payload)
+    else:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload + "\n")
+        print(f"wrote shard {args.index}/{args.of} ({len(results)} cells) to {path}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace, session) -> int:
+    from repro.api.spec import merge_shard_payloads
+
+    payloads: list[dict] = []
+    sources = args.parts or ["-"]
+    for source in sources:
+        loaded = json.loads(sys.stdin.read() if source == "-" else Path(source).read_text())
+        payloads.extend(loaded if isinstance(loaded, list) else [loaded])
+    merged = merge_shard_payloads(payloads)
+    if len(merged) != 1:
+        raise SystemExit(
+            f"CLI merge expects shards of a single seed, got seeds {sorted(merged)}"
+        )
+    seed, results = next(iter(merged.items()))
+    print(
+        f"merged {len(payloads)} shard(s) -> {len(results)} cells "
+        f"(seed {seed}, mean score {results.mean_score():.3f})"
+    )
+    if args.json:
+        if args.json == "-":
+            print(json.dumps(results.to_records(), indent=2, sort_keys=True))
+        else:
+            print(f"wrote {save_records_json(results, args.json)}")
+    if args.csv:
+        print(f"wrote {save_records_csv(results, args.csv)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -157,8 +240,13 @@ def main(argv: list[str] | None = None) -> int:
         "ablation": _cmd_ablation,
         "compare": _cmd_compare,
         "prompt": _cmd_prompt,
+        "shard": _cmd_shard,
+        "merge": _cmd_merge,
     }
-    return handlers[args.command](args)
+    from repro.api.session import Session
+
+    with Session(seed=args.seed, backend=args.backend) as session:
+        return handlers[args.command](args, session)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,32 +1,34 @@
-"""Experiment entry points: one per paper table/figure plus the ablations.
+"""Legacy experiment entry points — deprecated wrappers over :mod:`repro.api`.
 
-Every function returns an :class:`ExperimentReport` bundling the raw data,
-the shape comparison against the paper and a ready-to-print text rendering.
-The benchmark files in ``benchmarks/`` call these functions one-to-one (see
-DESIGN.md §4 for the experiment index).
+Historically this module was the public surface: one free function per paper
+table/figure plus the ablations, glued together by a module-global result
+cache.  That surface is now :class:`repro.api.Session`, which owns caching,
+backend selection and progress per session and adds declarative, shardable
+:class:`repro.api.ExperimentSpec` runs.  Every ``run_*`` function below is a
+thin wrapper that resolves through the *process-default* session
+(:func:`repro.api.session.default_session`) and emits a
+:class:`DeprecationWarning`; new code should hold a ``Session`` instead::
+
+    from repro.api import Session
+
+    with Session(seed=20230414, backend="process") as session:
+        report = session.table(2)
+
+:class:`ExperimentReport` and :data:`TABLE_LANGUAGES` still live here (the
+api layer re-exports them), so importing this module stays cheap and
+cycle-free.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.codex.config import DEFAULT_SEED, CodexConfig
-from repro.core.aggregate import postfix_effect
-from repro.core.compare import ShapeComparison, compare_to_paper
-from repro.core.runner import EvaluationRunner, ResultSet
-from repro.harness.figures import (
-    FIGURE_LANGUAGES,
-    figure_data,
-    overall_figure_data,
-    render_figure,
-    render_overall_figure,
-)
-from repro.harness.tables import render_language_table
+from repro.core.compare import ShapeComparison
+from repro.core.runner import ResultSet
 from repro.models.grid import experiment_grid
-from repro.models.languages import get_language, language_names
-from repro.popularity.maturity import MaturityModel
 
 __all__ = [
     "ExperimentReport",
@@ -73,39 +75,34 @@ class ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
-# Shared runners, cached per (seed, language, config fingerprint).  Keying on
-# the fingerprint (not identity, not "config is None") means figure N reuses
-# table N's run, the keyword ablation reuses the full grid, and the ablation
-# points whose config equals the default (maturity scale 1.0, suggestion
-# budget 10) reuse the default runs — each grid cell is evaluated at most
-# once per (seed, fingerprint).  The cache is LRU-bounded so long-lived
-# processes sweeping many configs don't grow without limit.
+# Deprecated wrappers.  Imports of repro.api happen lazily inside the
+# functions: repro.api.session imports this module for ExperimentReport /
+# TABLE_LANGUAGES, so a top-level import here would be circular.
 # ---------------------------------------------------------------------------
 
-_RESULT_CACHE: OrderedDict[tuple[int, str, str], ResultSet] = OrderedDict()
-#: Upper bound on retained runs; comfortably holds the default grid plus the
-#: standard ablation sweeps while capping parameter-sweep memory.
-_RESULT_CACHE_MAX = 64
+def _session():
+    from repro.api.session import default_session
+
+    return default_session()
+
+
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.harness.experiments.{name} is deprecated; use repro.api.{replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def clear_result_cache() -> None:
-    """Drop every cached :class:`ResultSet` (test fixtures call this so runs
-    cannot leak between seeds or configs)."""
-    _RESULT_CACHE.clear()
+    """Deprecated: drop the process-default session's cached results.
 
-
-def _cache_get(key: tuple[int, str, str]) -> ResultSet | None:
-    result = _RESULT_CACHE.get(key)
-    if result is not None:
-        _RESULT_CACHE.move_to_end(key)
-    return result
-
-
-def _cache_put(key: tuple[int, str, str], value: ResultSet) -> None:
-    _RESULT_CACHE[key] = value
-    _RESULT_CACHE.move_to_end(key)
-    while len(_RESULT_CACHE) > _RESULT_CACHE_MAX:
-        _RESULT_CACHE.popitem(last=False)
+    The result cache is session-scoped now; hold your own
+    :class:`repro.api.Session` (tests get a fresh default session per test
+    via ``reset_default_session``, see ``tests/conftest.py``).
+    """
+    _warn("clear_result_cache", "Session (caches are session-scoped)")
+    _session().clear_cache()
 
 
 def run_language_results(
@@ -115,24 +112,9 @@ def run_language_results(
     config: CodexConfig | None = None,
     backend: str = "serial",
 ) -> ResultSet:
-    """Evaluate all cells of one language's table.
-
-    Results are memoized per (seed, language, config fingerprint); the
-    ``backend`` only selects how a cache miss is computed — by the per-cell
-    seeding contract every backend yields identical records.
-
-    The returned :class:`ResultSet` is the shared cache entry — treat it as
-    read-only and copy its results into a fresh set before adding to it
-    (as :func:`run_full_results` does).
-    """
-    cfg = config if config is not None else CodexConfig()
-    cache_key = (seed, language, cfg.fingerprint())
-    cached = _cache_get(cache_key)
-    if cached is None:
-        with EvaluationRunner(config=cfg, seed=seed, backend=backend) as runner:
-            cached = runner.run_language(language)
-        _cache_put(cache_key, cached)
-    return cached
+    """Deprecated: use :meth:`repro.api.Session.language_results`."""
+    _warn("run_language_results", "Session.language_results")
+    return _session().language_results(language, seed=seed, config=config, backend=backend)
 
 
 def run_full_results(
@@ -141,33 +123,10 @@ def run_full_results(
     config: CodexConfig | None = None,
     backend: str = "serial",
 ) -> ResultSet:
-    """Evaluate the full grid (all four languages).
+    """Deprecated: use :meth:`repro.api.Session.full_results`."""
+    _warn("run_full_results", "Session.full_results")
+    return _session().full_results(seed=seed, config=config, backend=backend)
 
-    Languages missing from the cache are evaluated through a single runner,
-    so a parallel backend spins up one worker pool for the whole grid rather
-    than one per language.
-    """
-    cfg = config if config is not None else CodexConfig()
-    fingerprint = cfg.fingerprint()
-    missing = [
-        language
-        for language in language_names()
-        if _cache_get((seed, language, fingerprint)) is None
-    ]
-    if missing:
-        with EvaluationRunner(config=cfg, seed=seed, backend=backend) as runner:
-            for language in missing:
-                _cache_put((seed, language, fingerprint), runner.run_language(language))
-    combined = ResultSet(seed=seed)
-    for language in language_names():
-        for result in run_language_results(language, seed=seed, config=cfg, backend=backend):
-            combined.add(result)
-    return combined
-
-
-# ---------------------------------------------------------------------------
-# Tables 2-5
-# ---------------------------------------------------------------------------
 
 def run_table(
     number: int,
@@ -176,31 +135,10 @@ def run_table(
     config: CodexConfig | None = None,
     backend: str = "serial",
 ) -> ExperimentReport:
-    """Reproduce Table ``number`` (2 = C++, 3 = Fortran, 4 = Python, 5 = Julia)."""
-    if number not in TABLE_LANGUAGES:
-        raise KeyError(f"the paper has no result table {number}; choose from {sorted(TABLE_LANGUAGES)}")
-    language = TABLE_LANGUAGES[number]
-    results = run_language_results(language, seed=seed, config=config, backend=backend)
-    comparison = compare_to_paper(results, language)
-    lang_display = get_language(language).display_name
-    text = render_language_table(results, language)
-    data = {
-        "language": language,
-        "records": results.to_records(),
-        "cells": comparison.cells,
-    }
-    return ExperimentReport(
-        experiment_id=f"table{number}",
-        description=f"Table {number}: proficiency scores for {lang_display}",
-        data=data,
-        comparison=comparison,
-        text=text,
-    )
+    """Deprecated: use :meth:`repro.api.Session.table`."""
+    _warn("run_table", "Session.table")
+    return _session().table(number, seed=seed, config=config, backend=backend)
 
-
-# ---------------------------------------------------------------------------
-# Figures 2-6
-# ---------------------------------------------------------------------------
 
 def run_figure(
     number: int,
@@ -209,22 +147,9 @@ def run_figure(
     config: CodexConfig | None = None,
     backend: str = "serial",
 ) -> ExperimentReport:
-    """Reproduce Figure ``number`` (2 = C++, ..., 5 = Julia, 6 = overall)."""
-    if number == 6:
-        return run_overall_figure(seed=seed, config=config, backend=backend)
-    if number not in FIGURE_LANGUAGES:
-        raise KeyError(f"the paper has no figure {number}; choose from {sorted(FIGURE_LANGUAGES)} or 6")
-    language = FIGURE_LANGUAGES[number]
-    results = run_language_results(language, seed=seed, config=config, backend=backend)
-    comparison = compare_to_paper(results, language)
-    lang_display = get_language(language).display_name
-    return ExperimentReport(
-        experiment_id=f"figure{number}",
-        description=f"Figure {number}: per-kernel and per-model averages for {lang_display}",
-        data=figure_data(results, language),
-        comparison=comparison,
-        text=render_figure(results, language),
-    )
+    """Deprecated: use :meth:`repro.api.Session.figure`."""
+    _warn("run_figure", "Session.figure")
+    return _session().figure(number, seed=seed, config=config, backend=backend)
 
 
 def run_overall_figure(
@@ -233,21 +158,10 @@ def run_overall_figure(
     config: CodexConfig | None = None,
     backend: str = "serial",
 ) -> ExperimentReport:
-    """Reproduce Figure 6: overall per-kernel and per-language averages."""
-    results = run_full_results(seed=seed, config=config, backend=backend)
-    data = overall_figure_data(results)
-    return ExperimentReport(
-        experiment_id="figure6",
-        description="Figure 6: overall averages per kernel and per language",
-        data=data,
-        comparison=None,
-        text=render_overall_figure(results),
-    )
+    """Deprecated: use :meth:`repro.api.Session.overall_figure`."""
+    _warn("run_overall_figure", "Session.overall_figure")
+    return _session().overall_figure(seed=seed, config=config, backend=backend)
 
-
-# ---------------------------------------------------------------------------
-# Ablations (DESIGN.md §4: A-KW, A-MAT, A-SUG)
-# ---------------------------------------------------------------------------
 
 def run_keyword_ablation(
     *,
@@ -255,24 +169,9 @@ def run_keyword_ablation(
     config: CodexConfig | None = None,
     backend: str = "serial",
 ) -> ExperimentReport:
-    """A-KW: effect of the post-fix keyword per language."""
-    results = run_full_results(seed=seed, config=config, backend=backend)
-    effects = {}
-    for language in language_names():
-        effects[language] = postfix_effect(results, language)
-    lines = ["Keyword post-fix effect (mean score without -> with keyword)"]
-    for language, effect in effects.items():
-        lines.append(
-            f"  {get_language(language).display_name:8s} "
-            f"{effect['without_keyword']:.2f} -> {effect['with_keyword']:.2f} "
-            f"(delta {effect['delta']:+.2f})"
-        )
-    return ExperimentReport(
-        experiment_id="ablation-keywords",
-        description="Effect of adding the language code keyword to the prompt",
-        data={"effects": effects},
-        text="\n".join(lines),
-    )
+    """Deprecated: use :meth:`repro.api.Session.ablation` ("keywords")."""
+    _warn("run_keyword_ablation", 'Session.ablation("keywords")')
+    return _session().keyword_ablation(seed=seed, config=config, backend=backend)
 
 
 def run_maturity_ablation(
@@ -281,36 +180,9 @@ def run_maturity_ablation(
     scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25),
     backend: str = "serial",
 ) -> ExperimentReport:
-    """A-MAT: how the model-maturity prior weight shifts the score ordering.
-
-    The ablation scales the weight of the model-maturity term in the
-    availability prior and checks that the qualitative ordering (OpenMP/CUDA
-    ahead of HIP/Thrust in C++) is stable.  Scale 1.0 fingerprints equal to
-    the default config, so that point reuses the cached Table 2 run.
-    """
-    orderings: dict[float, list[str]] = {}
-    stability: dict[float, bool] = {}
-    for scale in scales:
-        maturity = MaturityModel(model_weight=0.62 * scale)
-        config = CodexConfig(maturity=maturity)
-        results = run_language_results("cpp", seed=seed, config=config, backend=backend)
-        from repro.core.aggregate import model_averages
-
-        averages = model_averages(results, "cpp")
-        ranked = sorted(averages, key=averages.get, reverse=True)
-        orderings[scale] = ranked
-        top3 = set(ranked[:3])
-        stability[scale] = "cpp.openmp" in top3
-    lines = ["Maturity-prior ablation (C++ model ranking per scale)"]
-    for scale, ranked in orderings.items():
-        names = ", ".join(uid.split(".")[1] for uid in ranked[:4])
-        lines.append(f"  scale {scale:>4}: top models = {names} (OpenMP in top 3: {stability[scale]})")
-    return ExperimentReport(
-        experiment_id="ablation-maturity",
-        description="Sensitivity of the C++ model ranking to the maturity prior weight",
-        data={"orderings": orderings, "openmp_in_top3": stability},
-        text="\n".join(lines),
-    )
+    """Deprecated: use :meth:`repro.api.Session.ablation` ("maturity")."""
+    _warn("run_maturity_ablation", 'Session.ablation("maturity")')
+    return _session().maturity_ablation(seed=seed, scales=scales, backend=backend)
 
 
 def run_suggestion_count_ablation(
@@ -319,57 +191,39 @@ def run_suggestion_count_ablation(
     counts: tuple[int, ...] = (1, 3, 5, 10, 20),
     backend: str = "serial",
 ) -> ExperimentReport:
-    """A-SUG: rubric behaviour as the suggestion budget changes.
-
-    The paper evaluates the first ten suggestions; this ablation truncates or
-    extends the budget and reports the mean score over the C++ grid, showing
-    how the metric saturates (more suggestions can only move a cell between
-    proficient and lower levels, never above).  The engine never emits more
-    than ``max_suggestions`` completions, so each budget is a standard grid
-    run under that config — and the budget-10 point reuses the cached
-    default-config Table 2 run.
-    """
-    means: dict[int, float] = {}
-    for count in counts:
-        config = CodexConfig(max_suggestions=count)
-        results = run_language_results("cpp", seed=seed, config=config, backend=backend)
-        means[count] = results.mean_score()
-    lines = ["Suggestion-budget ablation (mean C++ score per suggestion count)"]
-    for count, mean in means.items():
-        lines.append(f"  first {count:>2} suggestions: mean score {mean:.3f}")
-    return ExperimentReport(
-        experiment_id="ablation-suggestions",
-        description="Sensitivity of the proficiency metric to the suggestion budget",
-        data={"means": means},
-        text="\n".join(lines),
-    )
+    """Deprecated: use :meth:`repro.api.Session.ablation` ("suggestions")."""
+    _warn("run_suggestion_count_ablation", 'Session.ablation("suggestions")')
+    return _session().suggestion_count_ablation(seed=seed, counts=counts, backend=backend)
 
 
 def run_everything(*, seed: int = DEFAULT_SEED, backend: str = "serial") -> dict[str, ExperimentReport]:
-    """Run every table, figure and ablation (used by the CLI).
-
-    The default-config grid is evaluated exactly once up front (optionally in
-    parallel); every table, figure and the keyword ablation then resolve from
-    the result cache, and the remaining ablations only evaluate the config
-    points whose fingerprint differs from the default.
-    """
-    run_full_results(seed=seed, backend=backend)
-    reports: dict[str, ExperimentReport] = {}
-    for number in sorted(TABLE_LANGUAGES):
-        report = run_table(number, seed=seed, backend=backend)
-        reports[report.experiment_id] = report
-    for number in (2, 3, 4, 5, 6):
-        report = run_figure(number, seed=seed, backend=backend)
-        reports[report.experiment_id] = report
-    for report in (
-        run_keyword_ablation(seed=seed, backend=backend),
-        run_maturity_ablation(seed=seed, backend=backend),
-        run_suggestion_count_ablation(seed=seed, backend=backend),
-    ):
-        reports[report.experiment_id] = report
-    return reports
+    """Deprecated: use :meth:`repro.api.Session.run_everything`."""
+    _warn("run_everything", "Session.run_everything")
+    return _session().run_everything(seed=seed, backend=backend)
 
 
 def full_grid_size() -> int:
     """Number of cells in the complete experiment grid (sanity helper)."""
     return len(experiment_grid())
+
+
+# ---------------------------------------------------------------------------
+# Compatibility shims for the old module-global cache internals: they mirror
+# the *current* default session's cache so pre-existing introspection (and
+# tests) keep working.
+# ---------------------------------------------------------------------------
+
+def _cache_get(key: tuple[int, str, str]) -> ResultSet | None:
+    return _session()._cache_get(key)
+
+
+def _cache_put(key: tuple[int, str, str], value: ResultSet) -> None:
+    _session()._cache_put(key, value)
+
+
+def __getattr__(name: str):
+    if name == "_RESULT_CACHE":
+        return _session()._cache
+    if name == "_RESULT_CACHE_MAX":
+        return _session()._cache_max
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -9,7 +9,13 @@ from typing import Iterable
 
 from repro.core.runner import ResultSet
 
-__all__ = ["save_records_csv", "save_records_json", "load_records_json", "result_records"]
+__all__ = [
+    "save_records_csv",
+    "save_records_json",
+    "load_records_csv",
+    "load_records_json",
+    "result_records",
+]
 
 _FIELDS = [
     "language",
@@ -55,3 +61,25 @@ def save_records_json(results: ResultSet | Iterable[dict], path: str | Path) -> 
 def load_records_json(path: str | Path) -> list[dict]:
     """Load per-cell records previously written by :func:`save_records_json`."""
     return json.loads(Path(path).read_text())
+
+
+#: CSV cells are strings; these coercions restore the record field types so a
+#: CSV round trip feeds ResultSet.from_payload exactly like the JSON one.
+_CSV_COERCERS = {
+    "use_postfix": lambda value: value == "True",
+    "score": float,
+    "n_suggestions": int,
+    "n_correct": int,
+    "competence": float,
+}
+
+
+def load_records_csv(path: str | Path) -> list[dict]:
+    """Load per-cell records previously written by :func:`save_records_csv`,
+    coercing numeric/boolean fields back to their record types (suitable for
+    :meth:`repro.core.runner.ResultSet.from_payload`)."""
+    with Path(path).open(newline="") as handle:
+        return [
+            {key: _CSV_COERCERS.get(key, str)(value) for key, value in row.items()}
+            for row in csv.DictReader(handle)
+        ]

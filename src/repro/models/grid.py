@@ -8,6 +8,7 @@ score in Tables 2-5.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.kernels.registry import KERNEL_NAMES
@@ -15,7 +16,13 @@ from repro.models.keywords import has_postfix_variant, postfix_keyword
 from repro.models.languages import get_language, language_names
 from repro.models.programming_models import ProgrammingModel, get_model, models_for_language
 
-__all__ = ["ExperimentCell", "experiment_grid", "table1_rows", "cells_for_language"]
+__all__ = [
+    "ExperimentCell",
+    "experiment_grid",
+    "table1_rows",
+    "cells_for_language",
+    "canonical_cell_position",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,24 @@ def experiment_grid(
     for language in langs:
         cells.extend(cells_for_language(language, kernels=kernels))
     return cells
+
+
+@lru_cache(maxsize=1)
+def _canonical_cell_positions() -> dict[tuple[str, str, bool], int]:
+    return {
+        (cell.model, cell.kernel, cell.use_postfix): index
+        for index, cell in enumerate(experiment_grid())
+    }
+
+
+def canonical_cell_position(model: str, kernel: str, use_postfix: bool) -> int | None:
+    """Position of a cell in the canonical full-grid enumeration.
+
+    This is the total order that sharded partial results are merged back
+    into (see :meth:`repro.core.runner.ResultSet.merge`); ``None`` when the
+    coordinates are not part of the standard Table 1 grid.
+    """
+    return _canonical_cell_positions().get((model, kernel, use_postfix))
 
 
 def table1_rows() -> Iterator[tuple[str, str, str]]:

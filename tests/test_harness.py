@@ -17,7 +17,13 @@ from repro.harness.figures import (
     render_figure,
     render_overall_figure,
 )
-from repro.harness.io import load_records_json, save_records_csv, save_records_json
+from repro.core.runner import ResultSet
+from repro.harness.io import (
+    load_records_csv,
+    load_records_json,
+    save_records_csv,
+    save_records_json,
+)
 from repro.harness.tables import render_language_table, table_rows
 from repro.kernels.registry import KERNEL_NAMES
 from repro.models.languages import language_names
@@ -138,6 +144,35 @@ class TestIo:
         assert len(records) == len(full_results)
         assert {"language", "model", "kernel", "score"} <= set(records[0])
         assert json.loads(path.read_text())
+
+    def test_json_roundtrip_rehydrates_exactly(self, full_results, tmp_path):
+        """save → load → ResultSet.from_payload reproduces to_records()
+        verbatim, postfix cells included, down to the serialized bytes."""
+        path = save_records_json(full_results, tmp_path / "results.json")
+        rebuilt = ResultSet.from_payload(load_records_json(path), seed=full_results.seed)
+        assert rebuilt.to_records() == full_results.to_records()
+        assert any(record["use_postfix"] and record["postfix"] for record in rebuilt.to_records())
+        again = save_records_json(rebuilt, tmp_path / "again.json")
+        assert again.read_bytes() == path.read_bytes()
+
+    def test_csv_roundtrip_rehydrates_exactly(self, full_results, tmp_path):
+        path = save_records_csv(full_results, tmp_path / "results.csv")
+        rebuilt = ResultSet.from_payload(load_records_csv(path), seed=full_results.seed)
+        assert rebuilt.to_records() == full_results.to_records()
+
+    def test_rehydrated_set_keeps_indexed_lookups(self, full_results, tmp_path):
+        path = save_records_json(full_results, tmp_path / "results.json")
+        rebuilt = ResultSet.from_payload(load_records_json(path))
+        some = full_results.results[10].cell
+        assert rebuilt.score(some.model, some.kernel, use_postfix=some.use_postfix) == \
+            full_results.results[10].score
+        assert len(rebuilt.filter(language="julia")) == len(full_results.filter(language="julia"))
+
+    def test_payload_roundtrip_via_to_payload(self, full_results):
+        payload = full_results.to_payload()
+        rebuilt = ResultSet.from_payload(json.loads(json.dumps(payload)))
+        assert rebuilt.seed == full_results.seed
+        assert rebuilt.to_records() == full_results.to_records()
 
 
 class TestCli:
