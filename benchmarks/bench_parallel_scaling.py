@@ -6,7 +6,10 @@ memo hits), verifies the two backends produce byte-identical records, then
 times a sharded run — the grid split into ``SHARD_COUNT`` independent
 :class:`repro.api.Shard`s, each evaluated by its own fresh
 :class:`repro.api.Session` as if on a separate machine, plus the
-manifest-validated merge — and finally every experiment id once through one
+manifest-validated merge — then a cold-vs-warm pass over the persistent
+verdict store (the warm run must be byte-identical and execute zero
+sandboxes), the batched-vs-serial sandbox comparison from
+:mod:`bench_sandbox`, and finally every experiment id once through one
 session's result cache.  The measurements are written to ``BENCH_perf.json``
 at the repo root to extend the perf trajectory.
 
@@ -20,12 +23,14 @@ import json
 import multiprocessing
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
 from _shared import DEFAULT_SEED
+from bench_sandbox import collect_sandbox_record
 
 from repro.analysis.analyzer import clear_verdict_memo
 from repro.api import ExperimentSpec, Session, merge_shard_parts
@@ -100,8 +105,37 @@ def _time_sharded_grid(n: int) -> tuple[float, float, list[dict]]:
     return max(shard_times), merge_time, merged.to_records()
 
 
+def _time_store_runs() -> tuple[float, float, int]:
+    """Cold-vs-warm full grid through a fresh on-disk verdict store.
+
+    The cold run populates the store; the warm run starts from a cleared
+    in-memory memo (as a new process would) and must reproduce the records
+    byte-identically with zero sandbox executions.  Returns
+    (cold seconds, warm seconds, warm store hits).
+    """
+    _cold_caches()
+    default_corpus()
+    with tempfile.TemporaryDirectory(prefix="repro-verdicts-") as tmp:
+        store_dir = Path(tmp) / "verdicts"
+        with Session(seed=DEFAULT_SEED, verdict_store=store_dir) as session:
+            start = time.perf_counter()
+            cold_records = session.full_results().to_records()
+            cold = time.perf_counter() - start
+            assert session.sandbox_executions > 0, "cold run executed nothing"
+        clear_verdict_memo()
+        with Session(seed=DEFAULT_SEED, verdict_store=store_dir) as session:
+            start = time.perf_counter()
+            warm_records = session.full_results().to_records()
+            warm = time.perf_counter() - start
+            hits = session.store_hits
+            assert session.sandbox_executions == 0, "warm store run hit the sandbox"
+        assert warm_records == cold_records, "warm store run diverged from cold records"
+    return cold, warm, hits
+
+
 def collect_perf_record() -> dict:
-    """Measure backend scaling, sharded-vs-unsharded wall-clock and
+    """Measure backend scaling, sharded-vs-unsharded wall-clock, cold-vs-warm
+    verdict-store runs, batched-vs-serial sandbox execution and
     per-experiment timings, asserting all evaluation paths agree."""
     cores = os.cpu_count() or 1
     record: dict = {
@@ -132,6 +166,20 @@ def collect_perf_record() -> dict:
     record["shard_speedup"] = (
         round(serial_s / (critical + merge_time), 3) if critical + merge_time else None
     )
+
+    # Persistent verdict store: cold populate vs warm re-run (zero sandbox
+    # executions, byte-identical records — asserted inside).
+    cold, warm, hits = _time_store_runs()
+    record["experiments"]["full_grid[store-cold]"] = round(cold, 4)
+    record["experiments"]["full_grid[store-warm]"] = round(warm, 4)
+    record["warm_store_speedup"] = round(cold / warm, 3) if warm else None
+    record["warm_store_hits"] = hits
+
+    # Batched vs serial sandbox execution over the real Python cell batches.
+    sandbox = collect_sandbox_record()
+    record["experiments"].update(sandbox["experiments"])
+    record["batched_speedup"] = sandbox["batched_speedup"]
+    record["batched_speedup_cpu"] = sandbox["batched_speedup_cpu"]
 
     # Per-experiment wall-clock through one session's result cache: the first
     # run of each (seed, fingerprint) pays, everything downstream reuses it.
@@ -171,6 +219,12 @@ def test_parallel_scaling(capsys=None):
     print(
         f"  cores={record['cores']} process speedup x{record['process_speedup']} "
         f"sharded-x{SHARD_COUNT} speedup x{record['shard_speedup']}"
+    )
+    print(
+        f"  warm-store speedup x{record['warm_store_speedup']} "
+        f"({record['warm_store_hits']} hits, 0 sandbox executions) "
+        f"batched sandbox x{record['batched_speedup']} "
+        f"(cpu-bound x{record['batched_speedup_cpu']})"
     )
 
 

@@ -2,16 +2,142 @@
 
 Times the three judging paths a suggestion can take: static analysis of a
 C++ suggestion, sandboxed execution of a numpy suggestion, and interpreted
-execution of a pyCUDA suggestion on the simulated device.
+execution of a pyCUDA suggestion on the simulated device — plus the
+batched-vs-serial sandbox comparison (:func:`collect_sandbox_record`), which
+feeds the ``sandbox[serial]`` / ``sandbox[batched]`` datapoints of
+``BENCH_perf.json``.  Runs standalone (``python benchmarks/bench_sandbox.py``
+merges its datapoints into the existing perf record) or under pytest.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 from repro.analysis.analyzer import SuggestionAnalyzer
 from repro.corpus.templates import get_template
-from repro.sandbox import evaluate_python_suggestion
+from repro.sandbox import evaluate_python_suggestion, evaluate_python_suggestions
 from repro.sandbox.cuda_c import CudaModule
 import numpy as np
+
+#: Where the perf record lands (the repo root's BENCH_* trajectory).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Timing repeats (best-of, to damp scheduler noise).
+REPEATS = 3
+
+
+def _pipeline_batches() -> list[list[tuple[str, str]]]:
+    """The execution batches the pipeline actually forms: for every Python
+    grid cell, the distinct suggestions of its completion at the default
+    seed (the analyzer memo dedups exact duplicates before execution)."""
+    from repro.codex.config import DEFAULT_SEED
+    from repro.codex.engine import SimulatedCodex
+    from repro.codex.prompt import Prompt
+    from repro.models.grid import experiment_grid
+
+    engine = SimulatedCodex(seed=DEFAULT_SEED)
+    batches: list[list[tuple[str, str]]] = []
+    for cell in experiment_grid(languages=("python",)):
+        completion = engine.complete(Prompt.from_cell(cell))
+        seen: set[str] = set()
+        batch = []
+        for code in completion.suggestions:
+            if code not in seen:
+                seen.add(code)
+                batch.append((code, cell.kernel))
+        if batch:
+            batches.append(batch)
+    return batches
+
+
+def collect_sandbox_record(repeats: int = REPEATS) -> dict:
+    """Best-of-``repeats`` wall-clock of the serial and batched sandbox paths
+    over every Python cell's real suggestion batch, asserting identical
+    outcomes.  Serial evaluates each suggestion in its own sandbox context
+    (the pre-batching behaviour); batched runs one context per cell batch."""
+    batches = _pipeline_batches()
+    total = sum(len(batch) for batch in batches)
+    # Untimed warm-up: first-touch costs (imports, task construction, numpy
+    # caches) land outside the measured region for both paths.
+    for batch in batches:
+        evaluate_python_suggestions(batch)
+    # Paired protocol: each repeat times serial and batched back-to-back for
+    # every individual batch, keeping the per-batch minimum.  Scheduler drift
+    # hits both paths of a pair equally, so the small structural advantage
+    # of batching is not swamped by load noise on a busy box.
+    serial_batch_best = [float("inf")] * len(batches)
+    batched_batch_best = [float("inf")] * len(batches)
+    serial_results = batched_results = None
+    for _ in range(repeats):
+        serial_results = []
+        batched_results = []
+        for index, batch in enumerate(batches):
+            start = time.perf_counter()
+            serial_results.extend(
+                evaluate_python_suggestion(code, kernel) for code, kernel in batch
+            )
+            serial_batch_best[index] = min(
+                serial_batch_best[index], time.perf_counter() - start
+            )
+            start = time.perf_counter()
+            batched_results.extend(evaluate_python_suggestions(batch))
+            batched_batch_best[index] = min(
+                batched_batch_best[index], time.perf_counter() - start
+            )
+    assert [(r.passed, r.issues) for r in serial_results] == [
+        (r.passed, r.issues) for r in batched_results
+    ], "batched sandbox outcomes diverged from serial"
+    serial_best = sum(serial_batch_best)
+    batched_best = sum(batched_batch_best)
+    # Batching amortizes per-suggestion context setup (fake-runtime install,
+    # CUDA parse/launch reuse), so the win concentrates in the CPU-backed
+    # cells (numpy/numba) whose executions are microseconds; the interpreted
+    # GPU cells are dominated by per-suggestion kernel interpretation that no
+    # batch can share.  Report the setup-bound stratum next to the overall
+    # number so the trajectory tracks both.
+    cpu_indices = [
+        index
+        for index, batch in enumerate(batches)
+        if not any(("pycuda" in code) or ("cupy" in code) for code, _ in batch)
+    ]
+    cpu_total = sum(len(batches[index]) for index in cpu_indices)
+    serial_cpu = sum(serial_batch_best[index] for index in cpu_indices)
+    batched_cpu = sum(batched_batch_best[index] for index in cpu_indices)
+    return {
+        "experiments": {
+            f"sandbox[serial x{total}]": round(serial_best, 4),
+            f"sandbox[batched x{total}]": round(batched_best, 4),
+            f"sandbox[serial cpu x{cpu_total}]": round(serial_cpu, 4),
+            f"sandbox[batched cpu x{cpu_total}]": round(batched_cpu, 4),
+        },
+        "batched_speedup": round(serial_best / batched_best, 3) if batched_best else None,
+        "batched_speedup_cpu": round(serial_cpu / batched_cpu, 3) if batched_cpu else None,
+    }
+
+
+def test_batched_execution_matches_serial_under_load():
+    record = collect_sandbox_record(repeats=1)
+    assert record["batched_speedup"] is not None
+    assert record["batched_speedup_cpu"] is not None
+
+
+def main() -> None:
+    """Merge the batched-vs-serial datapoints into BENCH_perf.json."""
+    record = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {"experiments": {}}
+    sandbox = collect_sandbox_record()
+    record.setdefault("experiments", {}).update(sandbox["experiments"])
+    record["batched_speedup"] = sandbox["batched_speedup"]
+    record["batched_speedup_cpu"] = sandbox["batched_speedup_cpu"]
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BENCH_PATH}")
+    for key, seconds in sorted(sandbox["experiments"].items()):
+        print(f"  {key:28s} {seconds:8.4f}s")
+    print(
+        f"  batched speedup x{sandbox['batched_speedup']} "
+        f"(cpu-bound stratum x{sandbox['batched_speedup_cpu']})"
+    )
 
 
 def test_static_analysis_cpp_cg(benchmark):
@@ -59,3 +185,7 @@ def test_cuda_interpreter_axpy_launch(benchmark):
         kernel.launch((1,), (256,), (n, 2.0, x, y))
 
     benchmark(launch)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,9 +7,12 @@ Demonstrates the distributed-evaluation workflow of :mod:`repro.api`:
    ``(seed, fingerprint, cell_slice)``,
 3. evaluate every shard in its own :class:`Session` (here sequentially; in a
    real deployment each shard's JSON payload would come from a different
-   machine via ``repro-hpc-codex shard``),
+   machine via ``repro-hpc-codex shard``), all sharing one persistent
+   verdict store — the way a fleet would share a mounted cache directory,
 4. validate the manifest and merge — the merged records are byte-identical
-   to an unsharded run, whatever order the shards arrive in.
+   to an unsharded run, whatever order the shards arrive in,
+5. re-run every shard warm: the shared store serves all verdicts, so the
+   second pass performs zero sandbox executions and is visibly faster.
 
 Run with:  python examples/shard_merge.py
 """
@@ -17,37 +20,75 @@ Run with:  python examples/shard_merge.py
 from __future__ import annotations
 
 import json
+import tempfile
+import time
+from pathlib import Path
 
+from repro.analysis.analyzer import clear_verdict_memo
 from repro.api import ExperimentSpec, Session, merge_shard_payloads, shard_payload
 
 N_MACHINES = 3
+
+
+def evaluate_all_shards(spec: ExperimentSpec, store_dir: Path) -> tuple[list[dict], float, int]:
+    """One pass over every shard, each in its own Session sharing the store.
+
+    Clearing the verdict memo before each shard puts every "machine" in the
+    position of a separate process: only the on-disk store is shared.
+    Returns (payloads, total seconds, total sandbox executions).
+    """
+    payloads = []
+    total_seconds = 0.0
+    total_executions = 0
+    for shard in spec.partition(N_MACHINES):
+        clear_verdict_memo()
+        with Session(seed=shard.seed, verdict_store=store_dir) as session:
+            start = time.perf_counter()
+            results = session.run(shard)
+            seconds = time.perf_counter() - start
+            total_seconds += seconds
+            total_executions += session.sandbox_executions
+            print(
+                f"  machine {shard.index}: cells [{shard.start}, {shard.stop}) "
+                f"-> {len(results)} records in {seconds:.2f}s "
+                f"({session.sandbox_executions} sandbox executions, "
+                f"{session.store_hits} store hits)"
+            )
+        payload = shard_payload(shard, results)
+        payloads.append(json.loads(json.dumps(payload)))  # simulate the wire
+    return payloads, total_seconds, total_executions
 
 
 def main() -> None:
     spec = ExperimentSpec(seeds=(20230414,))
     print(f"grid: {len(spec.cells())} cells, fingerprint {spec.fingerprint()}")
 
-    # "Each machine" evaluates one shard and emits a JSON payload.
-    payloads = []
-    for shard in spec.partition(N_MACHINES):
-        with Session(seed=shard.seed) as session:
-            results = session.run(shard)
-        payload = shard_payload(shard, results)
-        payloads.append(json.loads(json.dumps(payload)))  # simulate the wire
+    with tempfile.TemporaryDirectory(prefix="repro-verdicts-") as tmp:
+        store_dir = Path(tmp) / "verdicts"
+
+        print(f"\ncold pass ({N_MACHINES} machines, empty shared store):")
+        payloads, cold_seconds, cold_executions = evaluate_all_shards(spec, store_dir)
+
+        # Merge in arbitrary arrival order; the manifest check runs first.
+        merged = merge_shard_payloads(reversed(payloads))[spec.seed]
+
+        clear_verdict_memo()
+        with Session(seed=spec.seed) as session:
+            unsharded = session.run(spec)
+        identical = merged.to_records() == unsharded.to_records()
+        print(f"\nmerged {N_MACHINES} shards -> {len(merged)} cells")
+        print(f"byte-identical to the unsharded run: {identical}")
+        assert identical
+
+        print(f"\nwarm pass (same machines, store now populated):")
+        warm_payloads, warm_seconds, warm_executions = evaluate_all_shards(spec, store_dir)
         print(
-            f"  machine {shard.index}: cells [{shard.start}, {shard.stop}) "
-            f"-> {len(results)} records, mean score {results.mean_score():.3f}"
+            f"\nverdict store: cold {cold_seconds:.2f}s ({cold_executions} sandbox "
+            f"executions) -> warm {warm_seconds:.2f}s ({warm_executions} sandbox "
+            f"executions, x{cold_seconds / warm_seconds:.1f} faster)"
         )
-
-    # Merge in arbitrary arrival order; the manifest check runs first.
-    merged = merge_shard_payloads(reversed(payloads))[spec.seed]
-
-    with Session(seed=spec.seed) as session:
-        unsharded = session.run(spec)
-    identical = merged.to_records() == unsharded.to_records()
-    print(f"\nmerged {N_MACHINES} shards -> {len(merged)} cells")
-    print(f"byte-identical to the unsharded run: {identical}")
-    assert identical
+        assert warm_executions == 0
+        assert warm_payloads == payloads  # warm shard payloads are byte-identical
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.analysis.verdict import SuggestionVerdict
 from repro.analysis.detection import detect_models, primary_model
+from repro.analysis.store import VerdictStore, default_store_path
 from repro.analysis.analyzer import SuggestionAnalyzer, analyze_suggestion
 
 __all__ = [
@@ -28,4 +29,6 @@ __all__ = [
     "primary_model",
     "SuggestionAnalyzer",
     "analyze_suggestion",
+    "VerdictStore",
+    "default_store_path",
 ]

@@ -11,18 +11,34 @@ sandbox-executed — exactly once per process, no matter how many runners,
 ablations or threads ask.  Analyzers configured with a custom execution
 backend or with execution disabled get a private memo instead, so their
 verdicts never leak into the shared store.
+
+Two further layers sit at this seam:
+
+* A persistent :class:`~repro.analysis.store.VerdictStore` can be attached
+  (``SuggestionAnalyzer(store=...)``): memo misses consult the on-disk store
+  before computing, and every verdict the analyzer computes is written back
+  — so verdicts survive the process and are shared across process-backend
+  workers and separate CLI invocations.
+* :meth:`SuggestionAnalyzer.analyze_batch` resolves a whole suggestion list
+  at once.  Cache misses that need sandbox execution are collected and run
+  as one batch through
+  :func:`repro.sandbox.executor.evaluate_python_suggestions`, which installs
+  the fake GPU runtime once and sets up each kernel's numerical oracle once
+  per group instead of once per suggestion.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Sequence
 
 from repro.analysis import clike, fortranlang, julialang, pythonlang
 from repro.analysis.detection import detect_models
+from repro.analysis.store import VerdictStore
 from repro.analysis.verdict import SuggestionVerdict
-from repro.models.languages import get_language
+from repro.models.languages import Language, get_language
 from repro.models.programming_models import get_model
 
 __all__ = ["SuggestionAnalyzer", "analyze_suggestion", "clear_verdict_memo"]
@@ -72,6 +88,12 @@ def _default_python_executor(code: str, kernel: str) -> tuple[bool, list[str]]:
     return result.passed, list(result.issues)
 
 
+#: The pristine default backend.  The batch path compares against this to
+#: decide whether execution can go through the batched sandbox entry point;
+#: a monkeypatched/custom executor is honoured per suggestion instead.
+_PRISTINE_PYTHON_EXECUTOR = _default_python_executor
+
+
 @dataclass
 class SuggestionAnalyzer:
     """Analyzes raw suggestions for a given prompt.
@@ -89,16 +111,32 @@ class SuggestionAnalyzer:
         shares the memo exactly when the analyzer is in the default analysis
         mode (executing, with the default sandbox backend); pass ``False``
         to force a private cache, ``True`` to share regardless.
+    store:
+        Optional persistent :class:`~repro.analysis.store.VerdictStore` (or
+        its directory path) layered below the in-memory memo.  Memo hits
+        stay free; memo misses consult the store before computing, and every
+        verdict this analyzer computes is written back.
     """
 
     execute_python: bool = True
     python_executor: PythonExecutor | None = None
     shared_memo: bool | None = None
+    store: VerdictStore | str | Path | None = None
     _cache: dict[VerdictKey, SuggestionVerdict] = field(
         default=None, repr=False  # type: ignore[assignment]
     )
 
     def __post_init__(self) -> None:
+        self.store = VerdictStore.coerce(self.store)
+        if self.store is not None and (not self.execute_python or self.python_executor is not None):
+            # The store key carries no analysis mode: letting a static-only
+            # or custom-backend analyzer write it would hand default
+            # analyzers mode-dependent verdicts (same reason those modes get
+            # a private memo).
+            raise ValueError(
+                "a persistent verdict store only holds default-mode verdicts; it cannot "
+                "be combined with execute_python=False or a custom python_executor"
+            )
         if self._cache is None:
             share = self.shared_memo
             if share is None:
@@ -126,23 +164,110 @@ class SuggestionAnalyzer:
         requested_model:
             Programming model uid the prompt asked for ("cpp.openmp", ...).
         """
-        lang = get_language(language)
-        requested = get_model(requested_model)
-        cache_key = (code, lang.name, kernel, requested.uid)
-        cached = self._cache.get(cache_key)
-        if cached is not None:
-            return _copy_verdict(cached)
+        return self.analyze_batch(
+            (code,), language=language, kernel=kernel, requested_model=requested_model
+        )[0]
 
+    def analyze_batch(
+        self,
+        codes: Sequence[str],
+        *,
+        language: str,
+        kernel: str,
+        requested_model: str,
+    ) -> list[SuggestionVerdict]:
+        """Analyze a whole suggestion list for one prompt.
+
+        Produces exactly the verdicts :meth:`analyze` would produce one by
+        one, but resolves the caches first and then executes every pending
+        Python suggestion as a single sandbox batch (one fake-runtime
+        context, one oracle setup per kernel) — the cache-miss seam is where
+        batches form.  Duplicate suggestions inside the batch are analyzed
+        once.
+        """
+        lang = get_language(language)
+        requested_uid = get_model(requested_model).uid
+        keys: list[VerdictKey] = [(code, lang.name, kernel, requested_uid) for code in codes]
+        out: list[SuggestionVerdict | None] = [None] * len(keys)
+        pending: dict[VerdictKey, list[int]] = {}
+        for position, key in enumerate(keys):
+            cached = self._lookup(key)
+            if cached is not None:
+                out[position] = _copy_verdict(cached)
+            else:
+                pending.setdefault(key, []).append(position)
+
+        if pending:
+            finished: dict[VerdictKey, SuggestionVerdict] = {}
+            to_execute: list[tuple[VerdictKey, SuggestionVerdict]] = []
+            for key in pending:
+                verdict, needs_execution = self._static_verdict(key, lang, requested_uid)
+                if needs_execution:
+                    to_execute.append((key, verdict))
+                else:
+                    finished[key] = verdict
+            if to_execute:
+                for (key, verdict), (passed, exec_issues) in zip(
+                    to_execute, self._execute_pending(to_execute), strict=True
+                ):
+                    issues = list(exec_issues)
+                    if not passed and not issues:
+                        issues.append("execution did not reproduce the oracle result")
+                    verdict.issues.extend(issues)
+                    verdict.math_correct = not issues
+                    finished[key] = verdict
+            for key, verdict in finished.items():
+                self._remember(key, verdict)
+                for position in pending[key]:
+                    out[position] = _copy_verdict(verdict)
+        return out  # type: ignore[return-value]
+
+    # -- cache plumbing -------------------------------------------------------
+    def _lookup(self, key: VerdictKey) -> SuggestionVerdict | None:
+        """Memo first (free), then the persistent store (filling the memo).
+
+        Memo hits are deliberately *not* written through to the store: a
+        memo entry carries no provenance, and a ``shared_memo=True``
+        analyzer in a non-default mode may have put a mode-dependent verdict
+        there.  Only verdicts this analyzer computed itself (or loaded from
+        the store) are ever persisted, so the store can never serve a
+        verdict a cold default-mode run would not reproduce.
+        """
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
+        return None
+
+    def _remember(self, key: VerdictKey, verdict: SuggestionVerdict) -> None:
+        self._cache[key] = verdict
+        if self.store is not None:
+            self.store.put(key, verdict)
+
+    # -- analysis -------------------------------------------------------------
+    def _static_verdict(
+        self, key: VerdictKey, lang: Language, requested_uid: str
+    ) -> tuple[SuggestionVerdict, bool]:
+        """The static part of the analysis.
+
+        Returns ``(verdict, needs_execution)``: when ``needs_execution`` is
+        False the verdict is complete; otherwise only the sandbox execution
+        outcome (issues + ``math_correct``) is still missing.
+        """
+        code, _, kernel, _ = key
         verdict = SuggestionVerdict(is_code=_looks_like_code(code, lang.comment_prefix))
         if not verdict.is_code:
             verdict.add_issue("suggestion contains no code")
-            self._cache[cache_key] = verdict
-            return _copy_verdict(verdict)
+            return verdict, False
 
         detected = detect_models(code, lang.name)
         verdict.detected_models = detected
-        verdict.uses_requested_model = requested.uid in detected
-        verdict.uses_other_model = any(uid != requested.uid for uid in detected)
+        verdict.uses_requested_model = requested_uid in detected
+        verdict.uses_other_model = any(uid != requested_uid for uid in detected)
 
         issues: list[str] = []
         if lang.name == "cpp":
@@ -166,21 +291,34 @@ class SuggestionAnalyzer:
             if undefined:
                 issues.append(f"calls undefined function(s): {', '.join(sorted(undefined))}")
             if not issues and self.execute_python:
-                executor = self.python_executor or _default_python_executor
-                passed, exec_issues = executor(code, kernel)
-                issues.extend(exec_issues)
-                if not passed and not exec_issues:
-                    issues.append("execution did not reproduce the oracle result")
                 verdict.method = "executed"
-            else:
-                verdict.method = "static"
+                return verdict, True
+            verdict.method = "static"
         else:  # pragma: no cover - registry guards this
             raise KeyError(f"no analyzer for language {lang.name!r}")
 
         verdict.issues.extend(issues)
         verdict.math_correct = not issues
-        self._cache[cache_key] = verdict
-        return _copy_verdict(verdict)
+        return verdict, False
+
+    def _execute_pending(
+        self, items: list[tuple[VerdictKey, SuggestionVerdict]]
+    ) -> list[tuple[bool, list[str]]]:
+        """Run the execution backend over every pending Python suggestion.
+
+        The pristine default backend goes through the batched sandbox entry
+        point (one fake-runtime context, one oracle per kernel group); a
+        custom or monkeypatched backend keeps its per-suggestion contract.
+        """
+        executor = self.python_executor or _default_python_executor
+        if executor is _PRISTINE_PYTHON_EXECUTOR:
+            from repro.sandbox import evaluate_python_suggestions
+
+            results = evaluate_python_suggestions(
+                [(key[0], key[2]) for key, _ in items]
+            )
+            return [(result.passed, list(result.issues)) for result in results]
+        return [executor(key[0], key[2]) for key, _ in items]
 
 
 _DEFAULT_ANALYZER = SuggestionAnalyzer()

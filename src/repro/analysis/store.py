@@ -1,0 +1,282 @@
+"""Persistent, cross-process verdict store.
+
+A :class:`VerdictStore` is an on-disk cache of
+:class:`~repro.analysis.verdict.SuggestionVerdict`s keyed on
+``(code, language, kernel, requested model uid)`` — the exact tuple analysis
+is pure in (see :mod:`repro.analysis.analyzer`).  It is the durable layer
+below the process-wide in-memory verdict memo: in-memory hits stay free,
+misses consult the store before paying for analysis (and, for Python,
+sandbox execution), and freshly computed verdicts are written back so *other
+processes* — process-backend workers, a later CLI invocation, another
+machine sharing the directory — never re-analyze a suggestion this process
+already judged.
+
+Design points:
+
+* **Content-hashed entries.**  Each key is digested (SHA-256 over the schema
+  version and all four key fields) into a file name under a two-level fanout
+  directory, so lookups are a single ``open`` and the store scales to
+  hundreds of thousands of entries.
+* **Versioned schema.**  Entries carry :data:`STORE_SCHEMA` both in the
+  digest and in the payload; bumping the version orphans old entries, which
+  degrade to recompute — never to a wrong verdict.
+* **Atomic, race-safe writes.**  Entries are written to a unique temporary
+  file and published with ``os.replace``; two writers racing on one key both
+  write the same deterministic verdict and the last rename wins.  Corrupt or
+  truncated entries (killed writer, foreign bytes) are detected on read,
+  dropped, and recomputed.
+* **Fail-soft.**  Store I/O errors never propagate into analysis; the worst
+  case is always "compute it again".
+
+Example:
+
+>>> import tempfile
+>>> from repro.analysis.store import VerdictStore
+>>> from repro.analysis.verdict import SuggestionVerdict
+>>> tmp = tempfile.TemporaryDirectory()
+>>> store = VerdictStore(tmp.name)
+>>> key = ("def axpy(a, x, y):\\n    return a * x + y\\n", "python", "axpy", "python.numpy")
+>>> store.get(key) is None  # empty store: a miss
+True
+>>> store.put(key, SuggestionVerdict(is_code=True, math_correct=True, method="executed"))
+>>> store.get(key).math_correct  # a later process gets the cached verdict
+True
+>>> len(store), store.hits, store.misses
+(1, 1, 1)
+>>> tmp.cleanup()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.analysis.verdict import ANALYSIS_VERSION, SuggestionVerdict
+
+__all__ = ["STORE_SCHEMA", "StoreKey", "VerdictStore", "default_store_path"]
+
+#: Version of the on-disk entry format.  Bump on any change to the digest
+#: inputs or the entry payload; old entries then degrade to recompute.
+#: Behavior changes to the analyzers/sandbox are covered separately by
+#: :data:`repro.analysis.verdict.ANALYSIS_VERSION`, which is also folded
+#: into every entry digest.
+STORE_SCHEMA = 1
+
+#: Store key: (code, language, kernel, requested model uid).
+StoreKey = tuple[str, str, str, str]
+
+
+def default_store_path() -> Path:
+    """The default on-disk location of the shared verdict store.
+
+    ``$REPRO_VERDICT_STORE`` overrides everything; otherwise the store lives
+    under the XDG cache directory (``~/.cache/repro-hpc-codex/verdicts``).
+    """
+    env = os.environ.get("REPRO_VERDICT_STORE")
+    if env:
+        return Path(env).expanduser()
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home).expanduser() if cache_home else Path.home() / ".cache"
+    return base / "repro-hpc-codex" / "verdicts"
+
+
+class VerdictStore:
+    """On-disk verdict cache, safe for concurrent readers and writers.
+
+    Parameters
+    ----------
+    path:
+        Directory holding the entries (created if missing).  Any number of
+        processes may share it.
+
+    ``hits``/``misses``/``writes`` count this instance's traffic only; the
+    directory itself is shared state.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        #: Digests known to exist on disk (avoids re-stat/re-write churn).
+        self._known: set[str] = set()
+        #: Guards the counters/_known so thread-backend runs count exactly.
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VerdictStore({str(self.path)!r}, hits={self.hits}, misses={self.misses})"
+
+    @classmethod
+    def coerce(cls, value: "VerdictStore | str | Path | bool | None") -> "VerdictStore | None":
+        """Normalise every accepted store argument to a store (or ``None``).
+
+        ``None``/``False`` → no store; ``True`` → a store at
+        :func:`default_store_path`; a path → a store there; a store → itself.
+        The single construction point for Session/runner/analyzer wiring.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls(default_store_path())
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    # -- keying ---------------------------------------------------------------
+    @staticmethod
+    def digest(key: StoreKey) -> str:
+        """Content digest of a key (schema- and analysis-versioned, so both
+        format changes and analyzer behavior changes orphan old entries)."""
+        code, language, kernel, model = key
+        payload = json.dumps([STORE_SCHEMA, ANALYSIS_VERSION, code, language, kernel, model])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.path / digest[:2] / f"{digest}.json"
+
+    # -- lookups --------------------------------------------------------------
+    def get(self, key: StoreKey) -> SuggestionVerdict | None:
+        """The stored verdict for ``key``, or ``None`` (miss / corrupt entry).
+
+        Truncated, unparsable, schema-mismatched or key-mismatched entries
+        are removed (best-effort) and reported as misses, so every failure
+        mode degrades to recompute.
+        """
+        digest = self.digest(key)
+        path = self._entry_path(digest)
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            if payload["schema"] != STORE_SCHEMA:
+                raise ValueError(f"schema {payload['schema']} != {STORE_SCHEMA}")
+            recorded = (payload["language"], payload["kernel"], payload["model"])
+            if recorded != key[1:] or payload["code_sha"] != self._code_sha(key[0]):
+                raise ValueError("entry does not match the requested key")
+            verdict = SuggestionVerdict.from_payload(payload["verdict"])
+        except OSError:
+            # Absent entry, or a transient read failure (EIO, stale NFS
+            # handle, ...): a plain miss.  Never unlink here — on a shared
+            # store a transient error must not destroy a valid entry for
+            # every other reader.
+            with self._lock:
+                self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # The bytes were read but do not parse/validate: the entry
+            # itself is corrupt (truncated writer, old schema, foreign
+            # file) — drop it so the next writer replaces it.
+            with self._lock:
+                self.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+            return None
+        with self._lock:
+            self.hits += 1
+            self._known.add(digest)
+        return verdict
+
+    def put(self, key: StoreKey, verdict: SuggestionVerdict) -> None:
+        """Persist a verdict (idempotent; failures are swallowed).
+
+        The entry is written to a unique temporary file in the final
+        directory and published atomically with ``os.replace``, so readers
+        never observe partial writes and racing writers cannot interleave.
+        """
+        digest = self.digest(key)
+        with self._lock:
+            if digest in self._known:
+                return
+        path = self._entry_path(digest)
+        if path.exists():
+            with self._lock:
+                self._known.add(digest)
+            return
+        payload = {
+            "schema": STORE_SCHEMA,
+            "language": key[1],
+            "kernel": key[2],
+            "model": key[3],
+            "code_sha": self._code_sha(key[0]),
+            "verdict": verdict.to_payload(),
+        }
+        handle = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                dir=path.parent,
+                prefix=f".{digest[:8]}.",
+                suffix=".tmp",
+                delete=False,
+                encoding="utf-8",
+            )
+            with handle:
+                handle.write(json.dumps(payload, sort_keys=True))
+            os.replace(handle.name, path)
+        except OSError:
+            # Full disk / permissions / store directory gone: analysis must
+            # never fail because the cache could not be written.
+            if handle is not None:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+            return
+        with self._lock:
+            self._known.add(digest)
+            self.writes += 1
+
+    @staticmethod
+    def _code_sha(code: str) -> str:
+        return hashlib.sha256(code.encode("utf-8")).hexdigest()
+
+    # -- maintenance ----------------------------------------------------------
+    def _entry_files(self):
+        return self.path.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_files())
+
+    def stats(self) -> dict:
+        """Directory-wide entry count/size plus this instance's traffic."""
+        entries = 0
+        size = 0
+        for entry in self._entry_files():
+            entries += 1
+            try:
+                size += entry.stat().st_size
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        return {
+            "path": str(self.path),
+            "schema": STORE_SCHEMA,
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry (and leftover temp file); returns entries removed."""
+        removed = 0
+        for entry in self._entry_files():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        for leftover in self.path.glob("??/.*.tmp"):
+            try:
+                leftover.unlink()
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        with self._lock:
+            self._known.clear()
+        return removed

@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SuggestionVerdict"]
+__all__ = ["ANALYSIS_VERSION", "SuggestionVerdict"]
+
+#: Version of the analysis *behavior* (static checks, sandbox oracles,
+#: detection rules).  Bump whenever a change alters the verdict any
+#: suggestion receives — the persistent verdict store folds this into its
+#: entry digests, so stale pre-change verdicts degrade to recompute instead
+#: of silently diverging from freshly-computed ones across repo versions.
+ANALYSIS_VERSION = 1
 
 
 @dataclass
@@ -41,6 +48,43 @@ class SuggestionVerdict:
 
     def add_issue(self, message: str) -> None:
         self.issues.append(message)
+
+    # -- persistence ----------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serialisable dict carrying every field (inverse of
+        :meth:`from_payload`); used by the on-disk verdict store."""
+        return {
+            "is_code": self.is_code,
+            "detected_models": list(self.detected_models),
+            "uses_requested_model": self.uses_requested_model,
+            "uses_other_model": self.uses_other_model,
+            "math_correct": self.math_correct,
+            "issues": list(self.issues),
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SuggestionVerdict":
+        """Re-hydrate a verdict from :meth:`to_payload` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed payloads — callers
+        (the verdict store) treat that as a corrupt entry and recompute.
+        """
+        detected = payload["detected_models"]
+        issues = payload["issues"]
+        # A bare string would iterate characterwise into a garbled-but-valid
+        # verdict; reject it as corrupt instead.
+        if not isinstance(detected, (list, tuple)) or not isinstance(issues, (list, tuple)):
+            raise TypeError("detected_models and issues must be lists")
+        return cls(
+            is_code=bool(payload["is_code"]),
+            detected_models=tuple(str(uid) for uid in detected),
+            uses_requested_model=bool(payload["uses_requested_model"]),
+            uses_other_model=bool(payload["uses_other_model"]),
+            math_correct=bool(payload["math_correct"]),
+            issues=[str(issue) for issue in issues],
+            method=str(payload["method"]),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary (used in reports and examples)."""

@@ -1,10 +1,11 @@
 """repro.api — the supported public surface of the reproduction.
 
-Everything downstream code needs lives here:
+Everything downstream code needs lives here (reference: ``docs/api.md``;
+layering and determinism contract: ``docs/architecture.md``):
 
 * :class:`Session` — context-managed façade owning result caching, backend
-  selection, pooled runners and progress callbacks
-  (``session.table(2)``, ``session.figure(4)``,
+  selection, pooled runners, progress callbacks and the optional persistent
+  verdict store (``session.table(2)``, ``session.figure(4)``,
   ``session.ablation("keywords")``, ``session.run(spec)``,
   ``session.sweep(seeds=[...])``, ``session.run_everything()``).
 * :class:`ExperimentSpec` / :class:`Shard` / :class:`ShardManifest` — the
@@ -13,15 +14,35 @@ Everything downstream code needs lives here:
 * :class:`~repro.core.runner.ResultSet` (re-exported) with
   :meth:`~repro.core.runner.ResultSet.merge` and the
   ``to_payload``/``from_payload`` JSON round trip.
+* :class:`~repro.analysis.store.VerdictStore` — the on-disk, cross-process
+  verdict cache (``Session(verdict_store=...)``, CLI ``--verdict-store`` /
+  ``cache`` subcommand) that makes warm re-runs skip sandbox execution
+  entirely.
 * The shard payload helpers behind the ``repro shard`` / ``repro merge``
   CLI subcommands.
 
 The free functions in :mod:`repro.harness.experiments` are deprecated thin
-wrappers over the process-default :class:`Session`.
+wrappers over the process-default :class:`Session` (migration table in
+``docs/api.md``).
+
+Example — declare a run, shard it, and open a session:
+
+>>> from repro.api import ExperimentSpec, Session
+>>> spec = ExperimentSpec(seeds=(7,), languages=("julia",))
+>>> len(spec.cells())
+24
+>>> [len(shard) for shard in spec.partition(3)]
+[8, 8, 8]
+>>> spec.shard(1, 3).entry().seed
+7
+>>> with Session(seed=7) as session:
+...     session.backend
+'serial'
 """
 
 from __future__ import annotations
 
+from repro.analysis.store import VerdictStore, default_store_path
 from repro.core.runner import RecordResult, ResultSet
 from repro.harness.experiments import ExperimentReport
 
@@ -54,4 +75,6 @@ __all__ = [
     "ResultSet",
     "RecordResult",
     "ExperimentReport",
+    "VerdictStore",
+    "default_store_path",
 ]

@@ -9,7 +9,11 @@ A ``Session`` owns everything the legacy free functions in
 * backend selection (``serial`` / ``thread`` / ``process``) plus pooled
   :class:`~repro.core.runner.EvaluationRunner`s that are reused across calls
   and closed together when the session closes;
-* progress callbacks, forwarded to every runner the session creates.
+* progress callbacks, forwarded to every runner the session creates;
+* an optional persistent verdict store (``verdict_store=``), shared by every
+  runner and process-backend worker the session creates, so repeated runs —
+  even from new processes — skip sandbox execution for suggestions any
+  earlier run already analyzed.
 
 ``session.table(2)``, ``session.figure(4)``, ``session.ablation("keywords")``
 reproduce the paper artefacts; ``session.run(spec_or_shard)`` evaluates a
@@ -23,8 +27,10 @@ an unsharded run.
 from __future__ import annotations
 
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.analysis.store import VerdictStore
 from repro.codex.config import DEFAULT_SEED, CodexConfig
 from repro.core.aggregate import model_averages, postfix_effect
 from repro.core.compare import compare_to_paper
@@ -65,6 +71,14 @@ class Session:
         submission order (captured at runner creation).
     cache_size:
         LRU bound of the per-session result cache.
+    verdict_store:
+        Opt-in persistent verdict cache shared by every runner (and every
+        process-backend worker) this session creates.  Pass ``True`` for the
+        default cache directory (:func:`repro.analysis.store.default_store_path`,
+        ``$REPRO_VERDICT_STORE`` / ``~/.cache/repro-hpc-codex/verdicts``), a
+        path for an explicit location, or an existing
+        :class:`~repro.analysis.store.VerdictStore`.  ``None`` (default)
+        keeps verdicts process-local.
     """
 
     def __init__(
@@ -78,6 +92,7 @@ class Session:
         progress: Callable[[CellResult], None] | None = None,
         cache_size: int = 64,
         max_runners: int = 8,
+        verdict_store: VerdictStore | str | Path | bool | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -87,20 +102,44 @@ class Session:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.progress = progress
+        self.verdict_store = VerdictStore.coerce(verdict_store)
         self._cache: OrderedDict[tuple[int, str, str], ResultSet] = OrderedDict()
         self._cache_max = int(cache_size)
         self._runners: OrderedDict[tuple[int, str, str], EvaluationRunner] = OrderedDict()
         self._runners_max = int(max_runners)
+        self._retired_sandbox_executions = 0
+        self._retired_store_hits = 0
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
         """Shut down every pooled runner and drop the cache (idempotent)."""
         for runner in self._runners.values():
-            runner.close()
+            self._retire(runner)
         self._runners.clear()
         self._cache.clear()
         self._closed = True
+
+    def _retire(self, runner: EvaluationRunner) -> None:
+        """Close a runner, folding its counters into the session totals."""
+        self._retired_sandbox_executions += runner.sandbox_executions
+        self._retired_store_hits += runner.store_hits
+        runner.close()
+
+    @property
+    def sandbox_executions(self) -> int:
+        """Suggestion modules executed for this session's runs (all backends,
+        including process-pool workers; survives :meth:`close`)."""
+        return self._retired_sandbox_executions + sum(
+            runner.sandbox_executions for runner in self._runners.values()
+        )
+
+    @property
+    def store_hits(self) -> int:
+        """Verdicts served from the persistent store for this session's runs."""
+        return self._retired_store_hits + sum(
+            runner.store_hits for runner in self._runners.values()
+        )
 
     def __enter__(self) -> "Session":
         return self
@@ -159,12 +198,13 @@ class Session:
                 max_workers=self.max_workers,
                 chunk_size=self.chunk_size,
                 progress=self.progress,
+                verdict_store=self.verdict_store,
             )
             self._runners[key] = runner
         self._runners.move_to_end(key)
         while len(self._runners) > self._runners_max:
             _, retired = self._runners.popitem(last=False)
-            retired.close()
+            self._retire(retired)
         return runner
 
     # -- core evaluation ------------------------------------------------------

@@ -66,16 +66,18 @@ class PromptEvaluator:
     def evaluate_completion(
         self, cell: ExperimentCell, prompt: Prompt, completion: CompletionResult
     ) -> CellResult:
-        """Score an already-obtained completion (used by ablations)."""
-        verdicts = [
-            self.analyzer.analyze(
-                code,
-                language=prompt.language.name,
-                kernel=prompt.kernel,
-                requested_model=prompt.model_uid,
-            )
-            for code in completion.suggestions
-        ]
+        """Score an already-obtained completion (used by ablations).
+
+        The whole suggestion list goes through
+        :meth:`~repro.analysis.analyzer.SuggestionAnalyzer.analyze_batch`, so
+        cache-missing Python suggestions execute as one sandbox batch.
+        """
+        verdicts = self.analyzer.analyze_batch(
+            completion.suggestions,
+            language=prompt.language.name,
+            kernel=prompt.kernel,
+            requested_model=prompt.model_uid,
+        )
         level = classify_verdicts(verdicts)
         return CellResult(
             cell=cell,

@@ -22,11 +22,15 @@ are always returned in the submission order of the cells.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.analysis.analyzer import SuggestionAnalyzer
+from repro.analysis.store import VerdictStore
 from repro.codex.config import DEFAULT_SEED, CodexConfig
 from repro.codex.engine import SimulatedCodex
 from repro.core.evaluator import CellResult, PromptEvaluator
@@ -36,6 +40,7 @@ from repro.models.grid import (
     cells_for_language,
     experiment_grid,
 )
+from repro.sandbox.executor import sandbox_execution_count
 
 __all__ = ["ResultSet", "RecordResult", "EvaluationRunner", "BACKENDS"]
 
@@ -233,15 +238,32 @@ class ResultSet:
 _WORKER_EVALUATOR: PromptEvaluator | None = None
 
 
-def _init_worker(config: CodexConfig, seed: int) -> None:
+def _init_worker(config: CodexConfig, seed: int, store_path: str | None) -> None:
     global _WORKER_EVALUATOR
     engine = SimulatedCodex(config=config, seed=seed)
-    _WORKER_EVALUATOR = PromptEvaluator(engine=engine)
+    analyzer = SuggestionAnalyzer(
+        store=None if store_path is None else VerdictStore(store_path)
+    )
+    _WORKER_EVALUATOR = PromptEvaluator(engine=engine, analyzer=analyzer)
 
 
-def _evaluate_chunk_in_worker(cells: list[ExperimentCell]) -> list[CellResult]:
+def _evaluate_chunk_in_worker(
+    cells: list[ExperimentCell],
+) -> tuple[list[CellResult], int, int]:
+    """Evaluate a chunk in a worker; returns (results, executions, store hits).
+
+    The deltas let the parent runner aggregate sandbox-execution and
+    verdict-store-hit counts across process boundaries (workers are
+    single-threaded, so per-chunk deltas are exact).
+    """
     assert _WORKER_EVALUATOR is not None, "worker initializer did not run"
-    return [_WORKER_EVALUATOR.evaluate_cell(cell) for cell in cells]
+    store = _WORKER_EVALUATOR.analyzer.store
+    executions_before = sandbox_execution_count()
+    hits_before = store.hits if store is not None else 0
+    results = [_WORKER_EVALUATOR.evaluate_cell(cell) for cell in cells]
+    executions = sandbox_execution_count() - executions_before
+    hits = (store.hits - hits_before) if store is not None else 0
+    return results, executions, hits
 
 
 def _chunked(cells: list[ExperimentCell], chunk_size: int) -> list[list[ExperimentCell]]:
@@ -264,6 +286,12 @@ class EvaluationRunner:
     progress:
         Callback invoked with each :class:`CellResult`; under the parallel
         backends it fires as chunks complete, in submission order.
+    verdict_store:
+        Optional persistent :class:`~repro.analysis.store.VerdictStore` (or
+        its directory path) shared by every worker this runner creates:
+        serial/thread evaluation attaches it to the runner's analyzer, and
+        process-backend workers each open the same directory, so no worker
+        re-executes a suggestion any other process already analyzed.
     """
 
     config: CodexConfig = field(default_factory=CodexConfig)
@@ -273,25 +301,48 @@ class EvaluationRunner:
     backend: str = "serial"
     max_workers: int | None = None
     chunk_size: int | None = None
+    verdict_store: VerdictStore | str | Path | None = None
     #: Lazily-created executor, kept alive across run_cells calls so repeated
     #: runs (e.g. one language table after another) reuse the worker pool and
     #: its per-worker state instead of paying spawn + corpus setup each time.
     _executor: Executor | None = field(default=None, init=False, repr=False, compare=False)
     #: Actual worker count of the live pool (set when the pool is created).
     _workers: int = field(default=0, init=False, repr=False, compare=False)
+    #: Sandbox executions / verdict-store hits attributed to this runner's
+    #: runs, aggregated across backends (workers report per-chunk deltas).
+    _sandbox_executions: int = field(default=0, init=False, repr=False, compare=False)
+    _store_hits: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        self.verdict_store = VerdictStore.coerce(self.verdict_store)
         self._custom_evaluator = self.evaluator is not None
         if self.backend == "process" and self._custom_evaluator:
             raise ValueError(
                 "the process backend rebuilds evaluators from (config, seed) in each "
                 "worker and cannot ship a custom evaluator; use serial or thread"
             )
+        if self._custom_evaluator and self.verdict_store is not None:
+            raise ValueError(
+                "verdict_store cannot be combined with a custom evaluator; attach the "
+                "store to the evaluator's analyzer instead"
+            )
         if self.evaluator is None:
             engine = SimulatedCodex(config=self.config, seed=self.seed)
-            self.evaluator = PromptEvaluator(engine=engine)
+            self.evaluator = PromptEvaluator(
+                engine=engine, analyzer=SuggestionAnalyzer(store=self.verdict_store)
+            )
+
+    @property
+    def sandbox_executions(self) -> int:
+        """Suggestion modules executed for this runner's cells (all backends)."""
+        return self._sandbox_executions
+
+    @property
+    def store_hits(self) -> int:
+        """Verdicts served from the persistent store (all backends)."""
+        return self._store_hits
 
     # -- entry points ---------------------------------------------------------------
     def run_cells(self, cells: Iterable[ExperimentCell]) -> ResultSet:
@@ -319,8 +370,9 @@ class EvaluationRunner:
     # -- backends -------------------------------------------------------------------
     def _run_serial(self, cells: list[ExperimentCell]) -> ResultSet:
         results = ResultSet(seed=self.seed)
-        for cell in cells:
-            self._emit(results, self.evaluator.evaluate_cell(cell))
+        with self._count_local_work():
+            for cell in cells:
+                self._emit(results, self.evaluator.evaluate_cell(cell))
         return results
 
     def _run_executor(self, cells: list[ExperimentCell]) -> ResultSet:
@@ -335,14 +387,41 @@ class EvaluationRunner:
             evaluate = lambda chunk: [evaluator.evaluate_cell(cell) for cell in chunk]
         else:
             evaluate = _evaluate_chunk_in_worker
-        futures = [executor.submit(evaluate, chunk) for chunk in chunks]
-        # Collect in submission order: the result list (and therefore
-        # to_records) is identical to a serial run regardless of which
-        # chunk finishes first.
-        for future in futures:
-            for result in future.result():
-                self._emit(results, result)
+        with self._count_local_work():
+            futures = [executor.submit(evaluate, chunk) for chunk in chunks]
+            # Collect in submission order: the result list (and therefore
+            # to_records) is identical to a serial run regardless of which
+            # chunk finishes first.
+            for future in futures:
+                payload = future.result()
+                if self.backend == "process":
+                    chunk_results, executions, hits = payload
+                    self._sandbox_executions += executions
+                    self._store_hits += hits
+                else:
+                    chunk_results = payload
+                for result in chunk_results:
+                    self._emit(results, result)
         return results
+
+    @contextlib.contextmanager
+    def _count_local_work(self):
+        """Attribute in-process sandbox executions / store hits to this runner.
+
+        Process-backend work is counted from the per-chunk deltas the workers
+        report instead (the in-process counters never move there).
+        """
+        if self.backend == "process":
+            yield
+            return
+        executions_before = sandbox_execution_count()
+        hits_before = self.verdict_store.hits if self.verdict_store is not None else 0
+        try:
+            yield
+        finally:
+            self._sandbox_executions += sandbox_execution_count() - executions_before
+            if self.verdict_store is not None:
+                self._store_hits += self.verdict_store.hits - hits_before
 
     def _get_executor(self) -> Executor:
         if self._executor is None:
@@ -352,10 +431,13 @@ class EvaluationRunner:
             if self.backend == "thread":
                 self._executor = ThreadPoolExecutor(max_workers=self._workers)
             else:
+                store_path = (
+                    None if self.verdict_store is None else str(self.verdict_store.path)
+                )
                 self._executor = ProcessPoolExecutor(
                     max_workers=self._workers,
                     initializer=_init_worker,
-                    initargs=(self.config, self.seed),
+                    initargs=(self.config, self.seed, store_path),
                 )
         return self._executor
 

@@ -16,6 +16,8 @@ Sub-commands
                payload (manifest entry + records) for a later ``merge``.
 ``merge``      Validate shard payloads for completeness/consistency and merge
                them into the records of the unsharded run, byte-identically.
+``cache``      Inspect (``stats``) or empty (``clear``) the persistent
+               verdict store.
 
 Every command drives a :class:`repro.api.Session`; a two-machine split of
 the full grid looks like::
@@ -23,6 +25,12 @@ the full grid looks like::
     repro-hpc-codex shard --index 0 --of 2 --out part0.json   # machine A
     repro-hpc-codex shard --index 1 --of 2 --out part1.json   # machine B
     repro-hpc-codex merge part0.json part1.json --json full.json
+
+The global ``--verdict-store PATH`` flag (``auto`` = default cache location)
+attaches the persistent verdict cache: evaluation commands then consult and
+populate it, so a warm re-run — any process, any backend — performs zero
+sandbox executions and prints a ``verdict store: ... hits=N`` summary on
+stderr.
 """
 
 from __future__ import annotations
@@ -58,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(BACKENDS),
         default="serial",
         help="executor backend for grid evaluation (results are identical across backends)",
+    )
+    parser.add_argument(
+        "--verdict-store",
+        default=None,
+        metavar="PATH",
+        help="attach the persistent cross-process verdict cache at PATH; pass 'auto' "
+        "for the default location ($REPRO_VERDICT_STORE or ~/.cache/repro-hpc-codex/verdicts)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -106,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument(
         "--json", type=str, default=None, help="write merged records to this JSON file ('-' = stdout)"
     )
+
+    cache = sub.add_parser("cache", help="inspect or clear the persistent verdict store")
+    cache.add_argument("action", choices=["stats", "clear"])
 
     return parser
 
@@ -230,6 +248,29 @@ def _cmd_merge(args: argparse.Namespace, session) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace, session) -> int:
+    from repro.analysis.store import VerdictStore, default_store_path
+
+    if args.action == "clear" and session.verdict_store is None:
+        # Deleting entries of the machine-wide default store must be an
+        # explicit decision, not a forgotten-flag accident.
+        raise SystemExit(
+            "cache clear requires --verdict-store (pass 'auto' to clear the "
+            f"default store at {default_store_path()})"
+        )
+    store = session.verdict_store or VerdictStore(default_store_path())
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"verdict store {stats['path']}")
+        print(f"  schema  {stats['schema']}")
+        print(f"  entries {stats['entries']}")
+        print(f"  bytes   {stats['bytes']}")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {store.path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -242,11 +283,22 @@ def main(argv: list[str] | None = None) -> int:
         "prompt": _cmd_prompt,
         "shard": _cmd_shard,
         "merge": _cmd_merge,
+        "cache": _cmd_cache,
     }
     from repro.api.session import Session
 
-    with Session(seed=args.seed, backend=args.backend) as session:
-        return handlers[args.command](args, session)
+    verdict_store = True if args.verdict_store == "auto" else args.verdict_store
+    with Session(seed=args.seed, backend=args.backend, verdict_store=verdict_store) as session:
+        status = handlers[args.command](args, session)
+        if session.verdict_store is not None and args.command != "cache":
+            # Stderr so piped payloads (shard --out -, merge --json -) stay
+            # clean; only O(1) counters — `cache stats` walks the directory.
+            print(
+                f"verdict store: {session.verdict_store.path} "
+                f"hits={session.store_hits} sandbox-executions={session.sandbox_executions}",
+                file=sys.stderr,
+            )
+        return status
 
 
 if __name__ == "__main__":  # pragma: no cover

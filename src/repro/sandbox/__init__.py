@@ -14,19 +14,31 @@ numerical oracles, replacing the unavailable GPU stack with:
   runs the raw kernels embedded in ``RawKernel``/``SourceModule`` sources on
   a simulated grid/block/thread device model.
 
-``evaluate_python_suggestion`` is the entry point used by the analyzers.
+``evaluate_python_suggestions`` (plural, batched: one fake-runtime context
+per batch, one oracle per kernel group) is the entry point the analyzers
+use; ``evaluate_python_suggestion`` evaluates a single suggestion the same
+way.  ``sandbox_execution_count`` counts every module actually executed —
+how warm-cache runs prove they executed nothing.
 """
 
 from __future__ import annotations
 
-from repro.sandbox.executor import ExecutionResult, evaluate_python_suggestion, run_python_suggestion
+from repro.sandbox.executor import (
+    ExecutionResult,
+    evaluate_python_suggestion,
+    evaluate_python_suggestions,
+    run_python_suggestion,
+    sandbox_execution_count,
+)
 from repro.sandbox.tasks import SandboxTask, get_task
 from repro.sandbox.cuda_c import CudaModule, CudaKernel
 
 __all__ = [
     "ExecutionResult",
     "evaluate_python_suggestion",
+    "evaluate_python_suggestions",
     "run_python_suggestion",
+    "sandbox_execution_count",
     "SandboxTask",
     "get_task",
     "CudaModule",

@@ -5,15 +5,26 @@ JIT runtimes installed in :data:`sys.modules`, locates the entry function for
 the kernel and calls it with the canonical :class:`~repro.sandbox.tasks.SandboxTask`
 arguments; ``evaluate_python_suggestion`` additionally compares the result
 against the oracle.
+
+``evaluate_python_suggestions`` (plural) is the batched entry point used by
+the analyzer's cache-miss seam: each kernel's numerical oracle is set up
+once per batch and the whole batch executes — in input order — inside a
+single :func:`fake_runtime` context with CUDA parse/launch reuse, instead of
+installing and removing the fake module stack once per suggestion.
+
+Every module actually executed bumps a process-wide counter
+(:func:`sandbox_execution_count`), which is how runners and tests assert
+that warm-cache runs perform **zero** sandbox executions.
 """
 
 from __future__ import annotations
 
 import contextlib
 import sys
+import threading
 import types
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -21,7 +32,31 @@ from repro.analysis.pythonlang import find_entry_function
 from repro.kernels.validation import compare_outputs
 from repro.sandbox.tasks import SandboxTask, get_task
 
-__all__ = ["ExecutionResult", "run_python_suggestion", "evaluate_python_suggestion", "fake_runtime"]
+__all__ = [
+    "ExecutionResult",
+    "run_python_suggestion",
+    "evaluate_python_suggestion",
+    "evaluate_python_suggestions",
+    "fake_runtime",
+    "sandbox_execution_count",
+]
+
+#: Process-wide count of suggestion modules actually executed (monotonic;
+#: callers measure deltas).  Incremented just before a module's ``exec``,
+#: under a lock so thread-backend runs never drop increments.
+_EXECUTION_COUNT = 0
+_EXECUTION_COUNT_LOCK = threading.Lock()
+
+
+def _count_execution() -> None:
+    global _EXECUTION_COUNT
+    with _EXECUTION_COUNT_LOCK:
+        _EXECUTION_COUNT += 1
+
+
+def sandbox_execution_count() -> int:
+    """How many suggestion modules this process has executed so far."""
+    return _EXECUTION_COUNT
 
 
 @dataclass
@@ -37,10 +72,16 @@ class ExecutionResult:
         return self.passed
 
 
-def _fake_module_map() -> dict[str, types.ModuleType]:
-    """The sys.modules entries that stand in for the GPU / JIT stack."""
-    from repro.sandbox import fake_cupy, fake_numba, fake_pycuda
-    from repro.sandbox.fake_pycuda import autoinit, compiler, driver, gpuarray
+def _fresh_wrapper_modules() -> dict[str, types.ModuleType]:
+    """The per-suggestion fake modules (numba/cupyx wrappers).
+
+    These are the only entries of the fake runtime built fresh for every
+    serial evaluation (cupy/pycuda are real module objects shared across
+    calls either way), so the batched path must rebuild exactly these
+    between suggestions to keep batch results identical to serial ones even
+    when a suggestion mutates its module namespace.
+    """
+    from repro.sandbox import fake_numba
 
     numba_module = types.ModuleType("numba")
     for name in fake_numba.__all__:
@@ -49,18 +90,28 @@ def _fake_module_map() -> dict[str, types.ModuleType]:
     for name in ("jit", "grid", "to_device", "synchronize", "is_available"):
         setattr(numba_cuda, name, getattr(fake_numba.cuda, name))
     numba_module.cuda = fake_numba.cuda
-
     return {
         "numba": numba_module,
         "numba.cuda": numba_cuda,
-        "cupy": fake_cupy,
         "cupyx": types.ModuleType("cupyx"),
+    }
+
+
+def _fake_module_map() -> dict[str, types.ModuleType]:
+    """The sys.modules entries that stand in for the GPU / JIT stack."""
+    from repro.sandbox import fake_cupy, fake_pycuda
+    from repro.sandbox.fake_pycuda import autoinit, compiler, driver, gpuarray
+
+    modules = {
+        "cupy": fake_cupy,
         "pycuda": fake_pycuda,
         "pycuda.autoinit": autoinit,
         "pycuda.driver": driver,
         "pycuda.compiler": compiler,
         "pycuda.gpuarray": gpuarray,
     }
+    modules.update(_fresh_wrapper_modules())
+    return modules
 
 
 @contextlib.contextmanager
@@ -81,35 +132,39 @@ def fake_runtime() -> Iterator[None]:
                 sys.modules[name] = original
 
 
-def run_python_suggestion(code: str, kernel: str, task: SandboxTask | None = None) -> ExecutionResult:
-    """Execute ``code`` and call its entry function with the kernel's task arguments."""
-    task = task or get_task(kernel)
+def _run_in_runtime(code: str, kernel: str, task: SandboxTask) -> ExecutionResult:
+    """Execute one suggestion; the fake runtime must already be installed."""
     entry = find_entry_function(code, kernel)
     if entry is None:
         return ExecutionResult(passed=False, issues=["no callable entry point for the kernel"])
+    _count_execution()
     namespace: dict[str, Any] = {"__name__": "__suggestion__"}
-    with fake_runtime():
-        try:
-            exec(compile(code, "<suggestion>", "exec"), namespace)  # noqa: S102 - sandboxed corpus code
-        except Exception as exc:  # pragma: no cover - exercised via evaluate
-            return ExecutionResult(passed=False, issues=[f"module execution failed: {exc!r}"])
-        func = namespace.get(entry)
-        if not callable(func):
-            return ExecutionResult(passed=False, issues=[f"entry point {entry!r} is not callable"])
-        try:
-            output = func(*task.fresh_args())
-        except Exception as exc:
-            return ExecutionResult(
-                passed=False, issues=[f"calling {entry}() raised {type(exc).__name__}: {exc}"],
-                entry_point=entry,
-            )
+    try:
+        exec(compile(code, "<suggestion>", "exec"), namespace)  # noqa: S102 - sandboxed corpus code
+    except Exception as exc:  # pragma: no cover - exercised via evaluate
+        return ExecutionResult(passed=False, issues=[f"module execution failed: {exc!r}"])
+    func = namespace.get(entry)
+    if not callable(func):
+        return ExecutionResult(passed=False, issues=[f"entry point {entry!r} is not callable"])
+    try:
+        output = func(*task.fresh_args())
+    except Exception as exc:
+        return ExecutionResult(
+            passed=False, issues=[f"calling {entry}() raised {type(exc).__name__}: {exc}"],
+            entry_point=entry,
+        )
     return ExecutionResult(passed=True, output=output, entry_point=entry)
 
 
-def evaluate_python_suggestion(code: str, kernel: str) -> ExecutionResult:
-    """Execute a suggestion and compare its output against the oracle."""
-    task = get_task(kernel)
-    result = run_python_suggestion(code, kernel, task)
+def run_python_suggestion(code: str, kernel: str, task: SandboxTask | None = None) -> ExecutionResult:
+    """Execute ``code`` and call its entry function with the kernel's task arguments."""
+    task = task or get_task(kernel)
+    with fake_runtime():
+        return _run_in_runtime(code, kernel, task)
+
+
+def _compare_against_oracle(result: ExecutionResult, task: SandboxTask) -> ExecutionResult:
+    """Judge a run's output against the task oracle (mutates ``result``)."""
     if not result.passed:
         return result
     output = result.output
@@ -129,3 +184,39 @@ def evaluate_python_suggestion(code: str, kernel: str) -> ExecutionResult:
     if not comparison.passed:
         result.issues.append(f"numerical mismatch: {comparison.message}")
     return result
+
+
+def evaluate_python_suggestion(code: str, kernel: str) -> ExecutionResult:
+    """Execute a suggestion and compare its output against the oracle."""
+    task = get_task(kernel)
+    return _compare_against_oracle(run_python_suggestion(code, kernel, task), task)
+
+
+def evaluate_python_suggestions(items: Sequence[tuple[str, str]]) -> list[ExecutionResult]:
+    """Batched :func:`evaluate_python_suggestion` over ``(code, kernel)`` pairs.
+
+    The whole batch executes inside a single :func:`fake_runtime` context
+    with one CUDA parse/launch reuse scope — amortizing the per-suggestion
+    runtime install/teardown and the re-parsing of identical embedded kernel
+    sources — and each kernel's oracle task is resolved once per batch.
+    Suggestions still execute in **input order** (the order a serial loop
+    would use, which matters because the fake cupy/pycuda modules are shared
+    objects) and the per-suggestion wrapper modules are rebuilt between
+    suggestions (exactly what a standalone evaluation gets), so one
+    suggestion mutating its module namespace cannot change another's
+    verdict.  Results come back in input order and are identical to
+    evaluating each pair on its own.
+    """
+    from repro.sandbox.cuda_c.interpreter import shared_parse_scope
+
+    results: list[ExecutionResult] = []
+    tasks: dict[str, SandboxTask] = {}
+    with fake_runtime(), shared_parse_scope():
+        for index, (code, kernel) in enumerate(items):
+            if index:
+                sys.modules.update(_fresh_wrapper_modules())
+            task = tasks.get(kernel)
+            if task is None:
+                task = tasks[kernel] = get_task(kernel)
+            results.append(_compare_against_oracle(_run_in_runtime(code, kernel, task), task))
+    return results
