@@ -1,0 +1,84 @@
+"""CI smoke: the lockstep CUDA engine must actually cover the stock corpus.
+
+The vectorized interpreter falls back to the scalar sweep whenever it cannot
+prove equivalence — which is always *correct* but silently loses the speedup.
+This guard fails CI if any stock corpus kernel stops vectorizing:
+
+* every CUDA-embedded template suggestion must compile to a lockstep program
+  (zero ``kernels_scalar_only``),
+* executing them end-to-end must take the lockstep path for every launch
+  (zero ``launches_scalar_fallback`` — the expected fallback count for the
+  stock corpus is exactly 0), and
+* every suggestion must still pass its oracle.
+
+Runs standalone (``python benchmarks/bench_lockstep_smoke.py``) or under
+pytest.  A mutation that *should* fall back (data-dependent scatter races)
+is exercised in ``tests/test_cuda_vectorized_differential.py``; this file
+only guards the fast path.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.store import default_corpus
+from repro.sandbox import evaluate_python_suggestions
+from repro.sandbox.cuda_c import lockstep_stats, reset_lockstep_stats
+
+#: The stock corpus is expected to vectorize completely.
+EXPECTED_FALLBACKS = 0
+EXPECTED_SCALAR_ONLY_KERNELS = 0
+
+
+def run_smoke() -> dict:
+    corpus = default_corpus()
+    stock = [
+        (s.code, s.kernel)
+        for s in corpus
+        if s.language == "python"
+        and s.origin.value == "template"
+        and ("SourceModule" in s.code or "RawKernel" in s.code)
+    ]
+    assert stock, "no CUDA-embedded template suggestions found in the corpus"
+
+    reset_lockstep_stats()
+    results = evaluate_python_suggestions(stock)
+    stats = lockstep_stats()
+
+    failed = [kernel for (_, kernel), r in zip(stock, results) if not r.passed]
+    assert not failed, f"stock CUDA suggestions failed their oracles: {failed}"
+
+    scalar_only = stats.get("kernels_scalar_only", 0)
+    fallbacks = stats.get("launches_scalar_fallback", 0)
+    lockstep_launches = stats.get("launches_lockstep", 0)
+    reasons = {k: v for k, v in stats.items() if k.startswith(("fallback[", "unsupported["))}
+    assert scalar_only == EXPECTED_SCALAR_ONLY_KERNELS, (
+        f"{scalar_only} stock kernel(s) no longer compile to lockstep: {reasons}"
+    )
+    assert fallbacks == EXPECTED_FALLBACKS, (
+        f"lockstep silently fell back {fallbacks}x on the stock corpus: {reasons}"
+    )
+    assert lockstep_launches > 0, "no launch took the lockstep path"
+    return {
+        "suggestions": len(stock),
+        "lockstep_kernels": stats.get("kernels_lockstep", 0),
+        "lockstep_launches": lockstep_launches,
+        "scalar_fallbacks": fallbacks,
+    }
+
+
+def test_stock_corpus_runs_fully_vectorized():
+    run_smoke()
+
+
+def main() -> None:
+    summary = run_smoke()
+    print(
+        "lockstep smoke ok: "
+        f"{summary['suggestions']} suggestions, "
+        f"{summary['lockstep_kernels']} kernels compiled, "
+        f"{summary['lockstep_launches']} lockstep launches, "
+        f"{summary['scalar_fallbacks']} fallbacks (expected {EXPECTED_FALLBACKS})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,12 @@
 Times the three judging paths a suggestion can take: static analysis of a
 C++ suggestion, sandboxed execution of a numpy suggestion, and interpreted
 execution of a pyCUDA suggestion on the simulated device — plus the
-batched-vs-serial sandbox comparison (:func:`collect_sandbox_record`), which
-feeds the ``sandbox[serial]`` / ``sandbox[batched]`` datapoints of
-``BENCH_perf.json``.  Runs standalone (``python benchmarks/bench_sandbox.py``
-merges its datapoints into the existing perf record) or under pytest.
+batched-vs-serial sandbox comparison (:func:`collect_sandbox_record`) and
+the scalar-vs-lockstep CUDA interpreter comparison
+(:func:`collect_interpreter_record`), which feed the ``sandbox[...]`` /
+``cuda[...]`` datapoints of ``BENCH_perf.json``.  Runs standalone
+(``python benchmarks/bench_sandbox.py`` merges its datapoints into the
+existing perf record) or under pytest.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from pathlib import Path
 from repro.analysis.analyzer import SuggestionAnalyzer
 from repro.corpus.templates import get_template
 from repro.sandbox import evaluate_python_suggestion, evaluate_python_suggestions
-from repro.sandbox.cuda_c import CudaModule
+from repro.sandbox.cuda_c import CudaModule, execution_mode, lockstep_stats
 import numpy as np
 
 #: Where the perf record lands (the repo root's BENCH_* trajectory).
@@ -123,20 +125,167 @@ def test_batched_execution_matches_serial_under_load():
     assert record["batched_speedup_cpu"] is not None
 
 
+# ---------------------------------------------------------------------------
+# CUDA interpreter: scalar thread sweep vs vectorized lockstep engine
+# ---------------------------------------------------------------------------
+
+def _interpreter_launch_cases() -> list[tuple[str, str, tuple, tuple, tuple]]:
+    """The corpus kernels at their sandbox-task problem sizes, as direct
+    launch cases (name, source, grid, block, args) — the interpreter-bound
+    stratum with no sandbox overhead in the way."""
+    rng = np.random.default_rng(20230414)
+    gemm_m, gemm_n, gemm_k = 8, 7, 6
+    jac_n = 6
+    cases = [
+        ("axpy", """extern "C" __global__
+void axpy(const int n, const double a, const double *x, double *y)
+{ int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { y[i] = a * x[i] + y[i]; } }""",
+         (1,), (256,), (64, 1.5, rng.standard_normal(64), rng.standard_normal(64))),
+        ("gemv", """__global__ void gemv(const int m, const int n, const double *A, const double *x, double *y)
+{ int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < m) { double sum = 0.0; for (int j = 0; j < n; j++) { sum += A[i * n + j] * x[j]; } y[i] = sum; } }""",
+         (1,), (256,), (12, 9, rng.standard_normal(108), rng.standard_normal(9), np.zeros(12))),
+        ("gemm", """__global__ void gemm(const int m, const int n, const int k,
+                     const double *A, const double *B, double *C)
+{ int i = blockIdx.y * blockDim.y + threadIdx.y; int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < m && j < n) { double sum = 0.0; for (int l = 0; l < k; l++) { sum += A[i * k + l] * B[l * n + j]; }
+  C[i * n + j] = sum; } }""",
+         ((gemm_n + 15) // 16, (gemm_m + 15) // 16), (16, 16, 1),
+         (gemm_m, gemm_n, gemm_k, rng.standard_normal(gemm_m * gemm_k),
+          rng.standard_normal(gemm_k * gemm_n), np.zeros(gemm_m * gemm_n))),
+        ("spmv", """__global__ void spmv(const int n, const int *row_ptr, const int *col_idx,
+                     const double *values, const double *x, double *y)
+{ int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { double sum = 0.0;
+    for (int j = row_ptr[i]; j < row_ptr[i + 1]; j++) { sum += values[j] * x[col_idx[j]]; }
+    y[i] = sum; } }""",
+         (1,), (256,), (16, (np.arange(17) * 4).astype(np.int32),
+                        rng.integers(0, 16, 64).astype(np.int32),
+                        rng.standard_normal(64), rng.standard_normal(16), np.zeros(16))),
+        ("jacobi", """__global__ void jacobi(const int n, const double *u, double *u_new)
+{ int i = blockIdx.z * blockDim.z + threadIdx.z; int j = blockIdx.y * blockDim.y + threadIdx.y;
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1 && k >= 1 && k < n - 1) {
+    int idx = i * n * n + j * n + k;
+    u_new[idx] = (u[(i - 1) * n * n + j * n + k] + u[(i + 1) * n * n + j * n + k] +
+                  u[i * n * n + (j - 1) * n + k] + u[i * n * n + (j + 1) * n + k] +
+                  u[i * n * n + j * n + (k - 1)] + u[i * n * n + j * n + (k + 1)]) / 6.0; } }""",
+         ((jac_n + 3) // 4,) * 3, (4, 4, 4),
+         (jac_n, rng.standard_normal(jac_n ** 3), rng.standard_normal(jac_n ** 3))),
+    ]
+    return cases
+
+
+def collect_interpreter_record(repeats: int = REPEATS) -> dict:
+    """Paired scalar-vs-lockstep wall-clock of the CUDA interpreter.
+
+    Two strata: direct kernel launches over the corpus kernels at their
+    sandbox-task sizes (the pure interpreter-bound stratum PR 3 identified
+    as the dominant sandbox cost), and the GPU-backed suggestion batches
+    end-to-end.  Asserts byte-identical buffers between engines and zero
+    lockstep fallbacks on the stock kernels while measuring.
+    """
+    cases = [
+        (name, CudaModule(src).get_kernel(name), grid, block, args)
+        for name, src, grid, block, args in _interpreter_launch_cases()
+    ]
+    before = lockstep_stats()
+    # Correctness gate (and warm-up): both engines, byte-identical buffers.
+    for name, kern, grid, block, args in cases:
+        buffers = {}
+        for mode in ("auto", "scalar"):
+            copies = tuple(a.copy() if isinstance(a, np.ndarray) else a for a in args)
+            with execution_mode(mode):
+                kern.launch(grid, block, copies)
+            buffers[mode] = b"".join(
+                a.tobytes() for a in copies if isinstance(a, np.ndarray)
+            )
+        assert buffers["auto"] == buffers["scalar"], f"{name}: engine divergence"
+    delta = lockstep_stats()
+    fallbacks = delta.get("launches_scalar_fallback", 0) - before.get("launches_scalar_fallback", 0)
+    assert fallbacks == 0, "stock corpus kernels must run fully vectorized"
+
+    launch_best = {"auto": [float("inf")] * len(cases), "scalar": [float("inf")] * len(cases)}
+    for _ in range(repeats):
+        for index, (name, kern, grid, block, args) in enumerate(cases):
+            for mode in ("auto", "scalar"):
+                copies = tuple(a.copy() if isinstance(a, np.ndarray) else a for a in args)
+                with execution_mode(mode):
+                    start = time.perf_counter()
+                    kern.launch(grid, block, copies)
+                    elapsed = time.perf_counter() - start
+                launch_best[mode][index] = min(launch_best[mode][index], elapsed)
+    lockstep_launch = sum(launch_best["auto"])
+    scalar_launch = sum(launch_best["scalar"])
+
+    # End-to-end: the pipeline's GPU-backed suggestion batches.
+    gpu_batches = [
+        batch for batch in _pipeline_batches()
+        if any(("pycuda" in code) or ("cupy" in code) for code, _ in batch)
+    ]
+    gpu_total = sum(len(batch) for batch in gpu_batches)
+    for batch in gpu_batches:  # warm-up
+        evaluate_python_suggestions(batch)
+    batch_best = {"auto": [float("inf")] * len(gpu_batches),
+                  "scalar": [float("inf")] * len(gpu_batches)}
+    outcomes = {}
+    for _ in range(repeats):
+        for mode in ("auto", "scalar"):
+            results = []
+            for index, batch in enumerate(gpu_batches):
+                start = time.perf_counter()
+                results.extend(evaluate_python_suggestions(batch, cuda_execution=mode))
+                batch_best[mode][index] = min(
+                    batch_best[mode][index], time.perf_counter() - start
+                )
+            outcomes[mode] = [(r.passed, tuple(r.issues)) for r in results]
+    assert outcomes["auto"] == outcomes["scalar"], "engine outcomes diverged on GPU batches"
+    lockstep_e2e = sum(batch_best["auto"])
+    scalar_e2e = sum(batch_best["scalar"])
+
+    n_launches = len(cases)
+    return {
+        "experiments": {
+            f"cuda[scalar launches x{n_launches}]": round(scalar_launch, 4),
+            f"cuda[lockstep launches x{n_launches}]": round(lockstep_launch, 4),
+            f"sandbox[gpu scalar x{gpu_total}]": round(scalar_e2e, 4),
+            f"sandbox[gpu lockstep x{gpu_total}]": round(lockstep_e2e, 4),
+        },
+        "lockstep_speedup": round(scalar_launch / lockstep_launch, 3) if lockstep_launch else None,
+        "lockstep_speedup_e2e": round(scalar_e2e / lockstep_e2e, 3) if lockstep_e2e else None,
+    }
+
+
+def test_lockstep_interpreter_beats_scalar():
+    record = collect_interpreter_record(repeats=1)
+    assert record["lockstep_speedup"] is not None and record["lockstep_speedup"] > 1.0
+    assert record["lockstep_speedup_e2e"] is not None
+
+
 def main() -> None:
-    """Merge the batched-vs-serial datapoints into BENCH_perf.json."""
+    """Merge the batched-vs-serial and scalar-vs-lockstep datapoints into
+    BENCH_perf.json."""
     record = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {"experiments": {}}
     sandbox = collect_sandbox_record()
     record.setdefault("experiments", {}).update(sandbox["experiments"])
     record["batched_speedup"] = sandbox["batched_speedup"]
     record["batched_speedup_cpu"] = sandbox["batched_speedup_cpu"]
+    interpreter = collect_interpreter_record()
+    record["experiments"].update(interpreter["experiments"])
+    record["lockstep_speedup"] = interpreter["lockstep_speedup"]
+    record["lockstep_speedup_e2e"] = interpreter["lockstep_speedup_e2e"]
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"wrote {BENCH_PATH}")
-    for key, seconds in sorted(sandbox["experiments"].items()):
-        print(f"  {key:28s} {seconds:8.4f}s")
+    for key, seconds in sorted({**sandbox["experiments"], **interpreter["experiments"]}.items()):
+        print(f"  {key:32s} {seconds:8.4f}s")
     print(
         f"  batched speedup x{sandbox['batched_speedup']} "
         f"(cpu-bound stratum x{sandbox['batched_speedup_cpu']})"
+    )
+    print(
+        f"  lockstep speedup x{interpreter['lockstep_speedup']} on the "
+        f"interpreter-bound stratum (gpu batches end-to-end "
+        f"x{interpreter['lockstep_speedup_e2e']})"
     )
 
 

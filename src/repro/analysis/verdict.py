@@ -16,7 +16,12 @@ __all__ = ["ANALYSIS_VERSION", "SuggestionVerdict"]
 #: suggestion receives — the persistent verdict store folds this into its
 #: entry digests, so stale pre-change verdicts degrade to recompute instead
 #: of silently diverging from freshly-computed ones across repo versions.
-ANALYSIS_VERSION = 1
+#:
+#: 2: the CUDA-C interpreter gained the vectorized lockstep engine (plus
+#:    ternary-expression support and pyCUDA GPUArray/memcpy fidelity fixes);
+#:    verdicts produced by interpreter-backed execution are re-derived
+#:    rather than served from stores written by the scalar-only interpreter.
+ANALYSIS_VERSION = 2
 
 
 @dataclass

@@ -13,7 +13,16 @@ cuPy ``RawKernel`` suggestions without a GPU.
 
 from __future__ import annotations
 
-from repro.sandbox.cuda_c.interpreter import CudaKernel, CudaModule
+from repro.sandbox.cuda_c.interpreter import CudaKernel, CudaModule, execution_mode
+from repro.sandbox.cuda_c.lockstep import lockstep_stats, reset_lockstep_stats
 from repro.sandbox.cuda_c.parser import parse_cuda_source, CudaSyntaxError
 
-__all__ = ["CudaKernel", "CudaModule", "parse_cuda_source", "CudaSyntaxError"]
+__all__ = [
+    "CudaKernel",
+    "CudaModule",
+    "parse_cuda_source",
+    "CudaSyntaxError",
+    "execution_mode",
+    "lockstep_stats",
+    "reset_lockstep_stats",
+]

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Param", "KernelDef", "Block",
     "Decl", "Assign", "If", "For", "While", "Return", "ExprStmt", "Break", "Continue",
-    "Num", "Var", "Index", "Member", "Unary", "Binary", "Call",
+    "Num", "Var", "Index", "Member", "Unary", "Binary", "Ternary", "Call",
 ]
 
 
@@ -46,6 +46,13 @@ class Binary:
     op: str
     left: object
     right: object
+
+
+@dataclass(frozen=True)
+class Ternary:
+    cond: object
+    then: object
+    orelse: object
 
 
 @dataclass(frozen=True)

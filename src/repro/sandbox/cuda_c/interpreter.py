@@ -5,6 +5,25 @@ kernels without cross-thread communication: every (block, thread) pair
 executes the kernel body sequentially with its own local environment; pointer
 parameters are numpy arrays shared by all threads (so writes are globally
 visible, matching global memory semantics).
+
+Launches run on one of two engines:
+
+* the **scalar sweep** below — the original tree-walking evaluator, one
+  thread at a time; it is the reference semantics for every observable
+  effect, and
+* the **lockstep engine** (:mod:`repro.sandbox.cuda_c.lockstep`) — each
+  kernel is compiled once at parse time into closures that evaluate every
+  statement for all threads at once over numpy lane arrays, with an
+  active-thread mask for divergent branches.  Kernels the compiler cannot
+  prove safe stay scalar-only, and a compiled launch that trips a runtime
+  hazard (cross-lane reads of written data, duplicate scatter targets, int64
+  overflow, out-of-bounds, math-domain errors, budget exhaustion) restores
+  the pre-launch buffers and **replays through the scalar sweep**, so both
+  engines are byte-identical by construction.
+
+:func:`execution_mode` forces the scalar path (differential tests,
+benchmarks); :func:`repro.sandbox.cuda_c.lockstep.lockstep_stats` counts
+which path launches actually took.
 """
 
 from __future__ import annotations
@@ -12,15 +31,24 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import math
+import os
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 import numpy as np
 
 from repro.sandbox.cuda_c import ast_nodes as ast
+from repro.sandbox.cuda_c import lockstep as _lockstep
 from repro.sandbox.cuda_c.parser import parse_cuda_source
 
-__all__ = ["Dim3", "CudaKernel", "CudaModule", "CudaRuntimeError", "shared_parse_scope"]
+__all__ = [
+    "Dim3",
+    "CudaKernel",
+    "CudaModule",
+    "CudaRuntimeError",
+    "shared_parse_scope",
+    "execution_mode",
+]
 
 #: Active source -> parsed-kernels map of a :func:`shared_parse_scope`, or
 #: ``None`` outside any scope (every CudaModule then parses its own source).
@@ -65,6 +93,45 @@ def shared_parse_scope() -> Iterator[None]:
     finally:
         _PARSE_SCOPE.reset(parse_token)
         _LAUNCH_SCOPE.reset(launch_token)
+
+
+#: Active execution mode: "auto" (lockstep where compiled, scalar otherwise)
+#: or "scalar" (force the reference sweep).  Context-local so concurrent
+#: sandbox contexts under the thread backend are independent; the process
+#: default honours ``$REPRO_CUDA_EXECUTION`` for CLI-level control.
+_EXECUTION_MODE: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "cuda_execution_mode", default=None
+)
+
+
+def _current_mode() -> str:
+    mode = _EXECUTION_MODE.get()
+    if mode is not None:
+        return mode
+    env = os.environ.get("REPRO_CUDA_EXECUTION", "auto")
+    if env not in ("auto", "scalar"):
+        # Fail loud: a typo would otherwise silently force the slow engine.
+        raise CudaRuntimeError(
+            f"invalid REPRO_CUDA_EXECUTION={env!r}; use 'auto' or 'scalar'"
+        )
+    return env
+
+
+@contextlib.contextmanager
+def execution_mode(mode: str) -> Iterator[None]:
+    """Select the launch engine within the context: "auto" or "scalar".
+
+    "scalar" forces every launch through the reference sweep — the
+    differential-testing suite and the paired interpreter benchmark compare
+    it against the default "auto" (lockstep with scalar fallback) mode.
+    """
+    if mode not in ("auto", "scalar"):
+        raise ValueError(f"unknown execution mode {mode!r}; use 'auto' or 'scalar'")
+    token = _EXECUTION_MODE.set(mode)
+    try:
+        yield
+    finally:
+        _EXECUTION_MODE.reset(token)
 
 
 class CudaRuntimeError(RuntimeError):
@@ -135,6 +202,10 @@ class CudaKernel:
     def __init__(self, definition: ast.KernelDef):
         self.definition = definition
         self.name = definition.name
+        #: Lockstep program compiled once at parse time, or ``None`` when the
+        #: kernel uses constructs the vectorized engine does not model (it
+        #: then always takes the scalar sweep).
+        self.lockstep = _lockstep.try_compile(definition)
 
     # -- launching ----------------------------------------------------------
     def launch(self, grid: Any, block: Any, args: tuple) -> None:
@@ -161,21 +232,7 @@ class CudaKernel:
                     np.copyto(bound[name], stored)
                 return
 
-        builtins = {
-            "gridDim": Dim3(grid3.x, grid3.y, grid3.z),
-            "blockDim": Dim3(block3.x, block3.y, block3.z),
-        }
-        for bz in range(grid3.z):
-            for by in range(grid3.y):
-                for bx in range(grid3.x):
-                    for tz in range(block3.z):
-                        for ty in range(block3.y):
-                            for tx in range(block3.x):
-                                env = dict(bound)
-                                thread_builtins = dict(builtins)
-                                thread_builtins["blockIdx"] = Dim3(bx, by, bz)
-                                thread_builtins["threadIdx"] = Dim3(tx, ty, tz)
-                                self._run_thread(env, thread_builtins)
+        self._execute(grid3, block3, bound)
 
         if memo_key is not None:
             memo[memo_key] = [
@@ -230,6 +287,48 @@ class CudaKernel:
         return float(arg)
 
     # -- execution ------------------------------------------------------------
+    def _execute(self, grid3: "Dim3", block3: "Dim3", bound: dict[str, Any]) -> None:
+        """Run one launch: lockstep when compiled and allowed, scalar
+        otherwise — with a transparent scalar replay on lockstep hazards."""
+        program = self.lockstep
+        mode = _current_mode()
+        if program is not None and mode == "auto":
+            try:
+                program.run(grid3, block3, bound, self.max_thread_steps)
+                _lockstep._note("launches_lockstep")
+                return
+            except _lockstep.LockstepHazard as hazard:
+                # Buffers were restored before the raise; the scalar sweep
+                # below re-executes from the exact pre-launch state and is
+                # authoritative for results *and* errors.
+                _lockstep._note("launches_scalar_fallback")
+                _lockstep._note(f"fallback[{hazard.reason}]")
+        elif program is None:
+            # Compile-rejected kernel: distinct from a *requested* scalar
+            # mode, so coverage diagnostics can tell the two apart.
+            _lockstep._note("launches_scalar_only")
+        else:
+            _lockstep._note("launches_scalar_forced")
+        self._execute_scalar(grid3, block3, bound)
+
+    def _execute_scalar(self, grid3: "Dim3", block3: "Dim3", bound: dict[str, Any]) -> None:
+        """The reference semantics: sweep every thread sequentially."""
+        builtins = {
+            "gridDim": Dim3(grid3.x, grid3.y, grid3.z),
+            "blockDim": Dim3(block3.x, block3.y, block3.z),
+        }
+        for bz in range(grid3.z):
+            for by in range(grid3.y):
+                for bx in range(grid3.x):
+                    for tz in range(block3.z):
+                        for ty in range(block3.y):
+                            for tx in range(block3.x):
+                                env = dict(bound)
+                                thread_builtins = dict(builtins)
+                                thread_builtins["blockIdx"] = Dim3(bx, by, bz)
+                                thread_builtins["threadIdx"] = Dim3(tx, ty, tz)
+                                self._run_thread(env, thread_builtins)
+
     def _run_thread(self, env: dict[str, Any], builtins: Mapping[str, Dim3]) -> None:
         state = _ThreadState(env=env, builtins=builtins, budget=self.max_thread_steps)
         try:
@@ -376,6 +475,12 @@ class CudaKernel:
                 return 0 if self._truthy(value) else 1
         if isinstance(node, ast.Binary):
             return self._eval_binary(node, state)
+        if isinstance(node, ast.Ternary):
+            # Only the taken branch evaluates (C semantics: the other branch's
+            # side effects and errors never happen).
+            if self._truthy(self._eval(node.cond, state)):
+                return self._eval(node.then, state)
+            return self._eval(node.orelse, state)
         if isinstance(node, ast.Call):
             return self._eval_call(node, state)
         raise CudaRuntimeError(f"unsupported expression {node!r}")

@@ -264,7 +264,18 @@ class _Parser:
 
     # -- expressions -----------------------------------------------------------
     def parse_expression(self) -> object:
-        return self.parse_logical_or()
+        return self.parse_conditional()
+
+    def parse_conditional(self) -> object:
+        """C conditional expression: ``cond ? expr : conditional`` (right
+        associative; the middle operand is a full expression)."""
+        cond = self.parse_logical_or()
+        if not self.match("?"):
+            return cond
+        then = self.parse_expression()
+        self.expect(":")
+        orelse = self.parse_conditional()
+        return ast.Ternary(cond=cond, then=then, orelse=orelse)
 
     def parse_logical_or(self) -> object:
         expr = self.parse_logical_and()

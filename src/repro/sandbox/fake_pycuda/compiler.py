@@ -19,6 +19,12 @@ class _CompiledKernel:
         self._kernel = module.get_kernel(name)
         self.name = name
 
+    @property
+    def lockstep(self) -> bool:
+        """Whether launches take the vectorized lockstep engine (CI smoke
+        asserts this holds for every stock corpus kernel)."""
+        return self._kernel.lockstep is not None
+
     def __call__(self, *args: Any, block: tuple = (1, 1, 1), grid: tuple = (1, 1), **_kw: Any) -> None:
         unwrapped = tuple(self._unwrap(arg) for arg in args)
         self._kernel.launch(grid, block, unwrapped)
@@ -29,6 +35,10 @@ class _CompiledKernel:
             return arg.device_view()
         if isinstance(arg, DeviceAllocation):
             return arg.buffer
+        if hasattr(arg, "device_view") and callable(arg.device_view):
+            # GPUArray passed directly: launch against its backing buffer so
+            # kernel writes are visible through .get(), like real pyCUDA.
+            return arg.device_view()
         if isinstance(arg, np.generic):
             return arg.item()
         return arg

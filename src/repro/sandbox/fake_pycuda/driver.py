@@ -52,7 +52,13 @@ def mem_alloc(nbytes: int) -> DeviceAllocation:
 
 def memcpy_htod(dest: DeviceAllocation, src: np.ndarray) -> None:
     flat = np.asarray(src, dtype=np.float64).reshape(-1)
-    dest.buffer = flat.copy()
+    if flat.size == dest.buffer.size:
+        # Device allocations are stable memory: copy in place so kernels
+        # holding a reference to the buffer observe the upload (real pyCUDA
+        # semantics; replacing the array would orphan such references).
+        np.copyto(dest.buffer, flat)
+    else:
+        dest.buffer = flat.copy()
 
 
 def memcpy_dtoh(dest: np.ndarray, src: DeviceAllocation) -> None:

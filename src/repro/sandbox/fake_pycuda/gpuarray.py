@@ -19,6 +19,11 @@ class GPUArray:
         """Copy the array back to the host."""
         return self._data.copy()
 
+    def device_view(self) -> np.ndarray:
+        """The backing "device" buffer itself (kernel writes are visible),
+        mirroring the driver argument wrappers' protocol."""
+        return self._data
+
     @property
     def gpudata(self) -> np.ndarray:
         return self._data

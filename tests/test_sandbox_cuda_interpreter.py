@@ -90,6 +90,16 @@ class TestParser:
         with pytest.raises(CudaSyntaxError):
             parse_cuda_source("__global__ void f(int n) { goto done; }")
 
+    def test_parses_ternary_expression(self):
+        kernels = parse_cuda_source(
+            "__global__ void f(int n, double *y) { y[0] = n > 0 ? 1.0 : 2.0; }"
+        )
+        assert set(kernels) == {"f"}
+
+    def test_ternary_missing_colon_raises(self):
+        with pytest.raises(CudaSyntaxError):
+            parse_cuda_source("__global__ void f(int n, double *y) { y[0] = n > 0 ? 1.0; }")
+
 
 class TestDim3:
     def test_from_int(self):
@@ -240,6 +250,15 @@ class TestExecution:
         with pytest.raises(KeyError):
             module.get_kernel("missing")
 
+    def test_ternary_expression_evaluates(self):
+        src = "__global__ void f(const int n, double *y) { y[0] = n > 3 ? n * 2.0 : 0.0 - n; }"
+        kernel = CudaModule(src).get_kernel("f")
+        y = np.zeros(1)
+        kernel.launch((1,), (1,), (5, y))
+        assert y[0] == pytest.approx(10.0)
+        kernel.launch((1,), (1,), (2, y))
+        assert y[0] == pytest.approx(-2.0)
+
     @given(n=st.integers(1, 64), a=st.floats(-5, 5, allow_nan=False))
     @settings(max_examples=20, deadline=None)
     def test_property_axpy_matches_numpy(self, n, a):
@@ -250,3 +269,27 @@ class TestExecution:
         expected = a * x + y
         kernel.launch(((n + 31) // 32,), (32,), (n, a, x, y))
         np.testing.assert_allclose(y, expected, rtol=1e-12, atol=1e-12)
+
+
+class TestLockstepCompilation:
+    def test_stock_kernels_compile_to_lockstep(self):
+        for src, name in ((AXPY_SRC, "axpy"), (GEMV_SRC, "gemv")):
+            assert CudaModule(src).get_kernel(name).lockstep is not None
+
+    def test_unsupported_construct_stays_scalar_but_runs(self):
+        # Member access on a non-builtin is outside the lane-value model:
+        # the kernel must stay scalar-only yet execute unchanged.
+        src = """
+        __global__ void f(const int n, double *y)
+        {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { y[i] = gridDim.y + i; }
+        }
+        """
+        supported = CudaModule(src).get_kernel("f")
+        assert supported.lockstep is not None
+        unsupported_src = src.replace("gridDim.y", "mystruct.y")
+        kernel = CudaModule(unsupported_src).get_kernel("f")
+        assert kernel.lockstep is None
+        with pytest.raises(CudaRuntimeError):
+            kernel.launch((1,), (8,), (4, np.zeros(4)))

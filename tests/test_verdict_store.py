@@ -180,6 +180,32 @@ class TestStoreDegradation:
         monkeypatch.setattr(store_module, "ANALYSIS_VERSION", store_module.ANALYSIS_VERSION + 1)
         assert VerdictStore(tmp_path).get(_key()) is None
 
+    def test_lockstep_interpreter_bump_is_recorded(self):
+        # The vectorized lockstep CUDA interpreter changed what execution
+        # *can* observe (GPUArray write-back, memcpy fidelity, ternary
+        # support), so the analysis version must be past the scalar-era 1.
+        # Stores written before the bump degrade to recompute (below).
+        from repro.analysis.verdict import ANALYSIS_VERSION
+
+        assert ANALYSIS_VERSION >= 2
+
+    def test_pre_bump_store_degrades_to_recompute(self, tmp_path, monkeypatch):
+        # Simulate a store populated by the scalar-era interpreter (analysis
+        # version 1): the current analyzer must never serve those entries —
+        # every lookup misses and recomputation repopulates under the new
+        # digest, with both generations coexisting in the directory.
+        monkeypatch.setattr(store_module, "ANALYSIS_VERSION", 1)
+        legacy = VerdictStore(tmp_path)
+        legacy.put(_key(), _verdict())
+        assert legacy.get(_key()) is not None
+        monkeypatch.undo()
+
+        current = VerdictStore(tmp_path)
+        assert current.get(_key()) is None  # stale verdict never served
+        current.put(_key(), _verdict())
+        assert current.get(_key()) == _verdict()
+        assert len(current) == 2  # old entry orphaned, not misread
+
     def test_put_fails_soft_when_the_directory_is_unwritable(self, tmp_path, monkeypatch):
         from pathlib import Path
 
