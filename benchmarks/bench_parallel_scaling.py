@@ -8,9 +8,10 @@ times a sharded run — the grid split into ``SHARD_COUNT`` independent
 :class:`repro.api.Session` as if on a separate machine, plus the
 manifest-validated merge — then a cold-vs-warm pass over the persistent
 verdict store (the warm run must be byte-identical and execute zero
-sandboxes), the batched-vs-serial sandbox comparison from
-:mod:`bench_sandbox`, and finally every experiment id once through one
-session's result cache.  The measurements are written to ``BENCH_perf.json``
+sandboxes), a cold-vs-resumed pass through the store-backed shard driver
+(the warm driver must skip every shard), the batched-vs-serial sandbox
+comparison from :mod:`bench_sandbox`, and finally every experiment id once
+through one session's result cache.  The measurements are written to ``BENCH_perf.json``
 at the repo root to extend the perf trajectory.
 
 Runs standalone (``python benchmarks/bench_parallel_scaling.py``) or under
@@ -35,6 +36,7 @@ from bench_sandbox import collect_sandbox_record
 from repro.analysis.analyzer import clear_verdict_memo
 from repro.api import ExperimentSpec, Session, merge_shard_parts
 from repro.corpus.store import clear_default_corpus_cache, default_corpus
+from repro.dispatch import ResultStore, ShardDriver
 
 #: Backends measured for the scaling record.
 SCALING_BACKENDS = ("serial", "process")
@@ -133,6 +135,41 @@ def _time_store_runs() -> tuple[float, float, int]:
     return cold, warm, hits
 
 
+def _time_dispatch_runs(n: int) -> tuple[float, float, int]:
+    """Cold store-backed dispatch vs fully-warm resume of the full grid.
+
+    The cold driver evaluates all ``n`` shards inline and persists each
+    payload; the warm driver (fresh store instance, cleared memos — a new
+    process) must skip every shard and still merge byte-identically.
+    Returns (cold seconds, warm seconds, warm skipped-shard count).
+    """
+    spec = ExperimentSpec(seeds=(DEFAULT_SEED,))
+    _cold_caches()
+    default_corpus()
+    with Session(seed=DEFAULT_SEED) as session:
+        expected = session.full_results().to_records()
+    with tempfile.TemporaryDirectory(prefix="repro-results-") as tmp:
+        store_dir = Path(tmp) / "results"
+        clear_verdict_memo()
+        start = time.perf_counter()
+        cold_report = ShardDriver(spec, shards=n, result_store=store_dir).run()
+        cold = time.perf_counter() - start
+        assert cold_report.complete and len(cold_report.executed) == n, cold_report.summary()
+        assert cold_report.result().to_records() == expected, (
+            "dispatched merge diverged from the unsharded records"
+        )
+        clear_verdict_memo()
+        start = time.perf_counter()
+        warm_report = ShardDriver(spec, shards=n, result_store=ResultStore(store_dir)).run()
+        warm = time.perf_counter() - start
+        assert warm_report.complete and not warm_report.executed, warm_report.summary()
+        assert warm_report.sandbox_executions == 0, "warm dispatch hit the sandbox"
+        assert warm_report.result().to_records() == expected, (
+            "resumed merge diverged from the unsharded records"
+        )
+    return cold, warm, len(warm_report.skipped)
+
+
 def collect_perf_record() -> dict:
     """Measure backend scaling, sharded-vs-unsharded wall-clock, cold-vs-warm
     verdict-store runs, batched-vs-serial sandbox execution and
@@ -174,6 +211,16 @@ def collect_perf_record() -> dict:
     record["experiments"]["full_grid[store-warm]"] = round(warm, 4)
     record["warm_store_speedup"] = round(cold / warm, 3) if warm else None
     record["warm_store_hits"] = hits
+
+    # Resumable dispatch: store-backed cold drive vs fully-warm resume
+    # (every shard skipped, byte-identical merge — asserted inside).
+    dispatch_cold, dispatch_warm, skipped = _time_dispatch_runs(SHARD_COUNT)
+    record["experiments"][f"full_grid[dispatch x{SHARD_COUNT}]"] = round(dispatch_cold, 4)
+    record["experiments"]["full_grid[dispatch-resume]"] = round(dispatch_warm, 4)
+    record["dispatch_resume_speedup"] = (
+        round(dispatch_cold / dispatch_warm, 3) if dispatch_warm else None
+    )
+    record["dispatch_resume_skipped"] = skipped
 
     # Batched vs serial sandbox execution over the real Python cell batches.
     sandbox = collect_sandbox_record()
@@ -225,6 +272,10 @@ def test_parallel_scaling(capsys=None):
         f"({record['warm_store_hits']} hits, 0 sandbox executions) "
         f"batched sandbox x{record['batched_speedup']} "
         f"(cpu-bound x{record['batched_speedup_cpu']})"
+    )
+    print(
+        f"  dispatch-resume speedup x{record['dispatch_resume_speedup']} "
+        f"({record['dispatch_resume_skipped']} shards skipped, 0 re-executions)"
     )
 
 

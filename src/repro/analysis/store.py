@@ -11,18 +11,19 @@ processes* — process-backend workers, a later CLI invocation, another
 machine sharing the directory — never re-analyze a suggestion this process
 already judged.
 
-Design points:
+The durable-layer mechanics live in :class:`ContentStore`, which is shared
+with the shard-level :class:`~repro.dispatch.store.ResultStore`:
 
 * **Content-hashed entries.**  Each key is digested (SHA-256 over the schema
-  version and all four key fields) into a file name under a two-level fanout
+  version and all key fields) into a file name under a two-level fanout
   directory, so lookups are a single ``open`` and the store scales to
   hundreds of thousands of entries.
-* **Versioned schema.**  Entries carry :data:`STORE_SCHEMA` both in the
+* **Versioned schema.**  Entries carry their schema version both in the
   digest and in the payload; bumping the version orphans old entries, which
-  degrade to recompute — never to a wrong verdict.
+  degrade to recompute — never to a wrong value.
 * **Atomic, race-safe writes.**  Entries are written to a unique temporary
   file and published with ``os.replace``; two writers racing on one key both
-  write the same deterministic verdict and the last rename wins.  Corrupt or
+  write the same deterministic value and the last rename wins.  Corrupt or
   truncated entries (killed writer, foreign bytes) are detected on read,
   dropped, and recomputed.
 * **Fail-soft.**  Store I/O errors never propagate into analysis; the worst
@@ -57,10 +58,16 @@ from pathlib import Path
 
 from repro.analysis.verdict import ANALYSIS_VERSION, SuggestionVerdict
 
-__all__ = ["STORE_SCHEMA", "StoreKey", "VerdictStore", "default_store_path"]
+__all__ = [
+    "STORE_SCHEMA",
+    "ContentStore",
+    "StoreKey",
+    "VerdictStore",
+    "default_store_path",
+]
 
-#: Version of the on-disk entry format.  Bump on any change to the digest
-#: inputs or the entry payload; old entries then degrade to recompute.
+#: Version of the on-disk verdict-entry format.  Bump on any change to the
+#: digest inputs or the entry payload; old entries then degrade to recompute.
 #: Behavior changes to the analyzers/sandbox are covered separately by
 #: :data:`repro.analysis.verdict.ANALYSIS_VERSION`, which is also folded
 #: into every entry digest.
@@ -76,22 +83,29 @@ def default_store_path() -> Path:
     ``$REPRO_VERDICT_STORE`` overrides everything; otherwise the store lives
     under the XDG cache directory (``~/.cache/repro-hpc-codex/verdicts``).
     """
-    env = os.environ.get("REPRO_VERDICT_STORE")
+    return _default_cache_path("REPRO_VERDICT_STORE", "verdicts")
+
+
+def _default_cache_path(env_var: str, subdir: str) -> Path:
+    env = os.environ.get(env_var)
     if env:
         return Path(env).expanduser()
     cache_home = os.environ.get("XDG_CACHE_HOME")
     base = Path(cache_home).expanduser() if cache_home else Path.home() / ".cache"
-    return base / "repro-hpc-codex" / "verdicts"
+    return base / "repro-hpc-codex" / subdir
 
 
-class VerdictStore:
-    """On-disk verdict cache, safe for concurrent readers and writers.
+class ContentStore:
+    """Shared core of the on-disk content-addressed stores.
 
-    Parameters
-    ----------
-    path:
-        Directory holding the entries (created if missing).  Any number of
-        processes may share it.
+    Owns everything the durable caches have in common — the two-level
+    fanout layout, atomic ``os.replace`` publication, corrupt-entry
+    dropping, fail-soft writes, hit/miss/write counters and the
+    ``stats``/``clear`` maintenance surface.  Subclasses define what a key
+    is (:meth:`digest`) and how an entry payload is validated back into a
+    value; the corruption/versioning guarantees then hold for every store
+    built on this core (:class:`VerdictStore` here,
+    :class:`repro.dispatch.store.ResultStore` for whole shard payloads).
 
     ``hits``/``misses``/``writes`` count this instance's traffic only; the
     directory itself is shared state.
@@ -109,54 +123,32 @@ class VerdictStore:
         self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"VerdictStore({str(self.path)!r}, hits={self.hits}, misses={self.misses})"
+        return (
+            f"{type(self).__name__}({str(self.path)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
 
-    @classmethod
-    def coerce(cls, value: "VerdictStore | str | Path | bool | None") -> "VerdictStore | None":
-        """Normalise every accepted store argument to a store (or ``None``).
-
-        ``None``/``False`` → no store; ``True`` → a store at
-        :func:`default_store_path`; a path → a store there; a store → itself.
-        The single construction point for Session/runner/analyzer wiring.
-        """
-        if value is None or value is False:
-            return None
-        if value is True:
-            return cls(default_store_path())
-        if isinstance(value, cls):
-            return value
-        return cls(value)
-
-    # -- keying ---------------------------------------------------------------
-    @staticmethod
-    def digest(key: StoreKey) -> str:
-        """Content digest of a key (schema- and analysis-versioned, so both
-        format changes and analyzer behavior changes orphan old entries)."""
-        code, language, kernel, model = key
-        payload = json.dumps([STORE_SCHEMA, ANALYSIS_VERSION, code, language, kernel, model])
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    def _schema(self) -> int:
+        """The live schema version (read per call so test monkeypatching of
+        the module-level constant takes effect)."""
+        raise NotImplementedError
 
     def _entry_path(self, digest: str) -> Path:
         return self.path / digest[:2] / f"{digest}.json"
 
     # -- lookups --------------------------------------------------------------
-    def get(self, key: StoreKey) -> SuggestionVerdict | None:
-        """The stored verdict for ``key``, or ``None`` (miss / corrupt entry).
+    def _load_entry(self, digest: str, validate) -> object | None:
+        """Read and validate one entry; every failure degrades to a miss.
 
-        Truncated, unparsable, schema-mismatched or key-mismatched entries
-        are removed (best-effort) and reported as misses, so every failure
-        mode degrades to recompute.
+        ``validate`` receives the parsed JSON payload and returns the cached
+        value, raising ``ValueError``/``KeyError``/``TypeError`` when the
+        payload does not belong to the requested key.  Truncated, unparsable,
+        schema-mismatched or key-mismatched entries are removed (best-effort)
+        and reported as misses, so every failure mode degrades to recompute.
         """
-        digest = self.digest(key)
         path = self._entry_path(digest)
         try:
-            payload = json.loads(path.read_text("utf-8"))
-            if payload["schema"] != STORE_SCHEMA:
-                raise ValueError(f"schema {payload['schema']} != {STORE_SCHEMA}")
-            recorded = (payload["language"], payload["kernel"], payload["model"])
-            if recorded != key[1:] or payload["code_sha"] != self._code_sha(key[0]):
-                raise ValueError("entry does not match the requested key")
-            verdict = SuggestionVerdict.from_payload(payload["verdict"])
+            value = validate(json.loads(path.read_text("utf-8")))
         except OSError:
             # Absent entry, or a transient read failure (EIO, stale NFS
             # handle, ...): a plain miss.  Never unlink here — on a shared
@@ -179,16 +171,15 @@ class VerdictStore:
         with self._lock:
             self.hits += 1
             self._known.add(digest)
-        return verdict
+        return value
 
-    def put(self, key: StoreKey, verdict: SuggestionVerdict) -> None:
-        """Persist a verdict (idempotent; failures are swallowed).
+    def _store_entry(self, digest: str, payload: dict) -> None:
+        """Persist one entry (idempotent; failures are swallowed).
 
         The entry is written to a unique temporary file in the final
         directory and published atomically with ``os.replace``, so readers
         never observe partial writes and racing writers cannot interleave.
         """
-        digest = self.digest(key)
         with self._lock:
             if digest in self._known:
                 return
@@ -197,14 +188,6 @@ class VerdictStore:
             with self._lock:
                 self._known.add(digest)
             return
-        payload = {
-            "schema": STORE_SCHEMA,
-            "language": key[1],
-            "kernel": key[2],
-            "model": key[3],
-            "code_sha": self._code_sha(key[0]),
-            "verdict": verdict.to_payload(),
-        }
         handle = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -220,8 +203,8 @@ class VerdictStore:
                 handle.write(json.dumps(payload, sort_keys=True))
             os.replace(handle.name, path)
         except OSError:
-            # Full disk / permissions / store directory gone: analysis must
-            # never fail because the cache could not be written.
+            # Full disk / permissions / store directory gone: the caller
+            # must never fail because the cache could not be written.
             if handle is not None:
                 try:
                     os.unlink(handle.name)
@@ -231,10 +214,6 @@ class VerdictStore:
         with self._lock:
             self._known.add(digest)
             self.writes += 1
-
-    @staticmethod
-    def _code_sha(code: str) -> str:
-        return hashlib.sha256(code.encode("utf-8")).hexdigest()
 
     # -- maintenance ----------------------------------------------------------
     def _entry_files(self):
@@ -255,7 +234,7 @@ class VerdictStore:
                 pass
         return {
             "path": str(self.path),
-            "schema": STORE_SCHEMA,
+            "schema": self._schema(),
             "entries": entries,
             "bytes": size,
             "hits": self.hits,
@@ -280,3 +259,72 @@ class VerdictStore:
         with self._lock:
             self._known.clear()
         return removed
+
+
+class VerdictStore(ContentStore):
+    """On-disk verdict cache, safe for concurrent readers and writers.
+
+    Parameters
+    ----------
+    path:
+        Directory holding the entries (created if missing).  Any number of
+        processes may share it.
+    """
+
+    @classmethod
+    def coerce(cls, value: "VerdictStore | str | Path | bool | None") -> "VerdictStore | None":
+        """Normalise every accepted store argument to a store (or ``None``).
+
+        ``None``/``False`` → no store; ``True`` → a store at
+        :func:`default_store_path`; a path → a store there; a store → itself.
+        The single construction point for Session/runner/analyzer wiring.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls(default_store_path())
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    def _schema(self) -> int:
+        return STORE_SCHEMA
+
+    # -- keying ---------------------------------------------------------------
+    @staticmethod
+    def digest(key: StoreKey) -> str:
+        """Content digest of a key (schema- and analysis-versioned, so both
+        format changes and analyzer behavior changes orphan old entries)."""
+        code, language, kernel, model = key
+        payload = json.dumps([STORE_SCHEMA, ANALYSIS_VERSION, code, language, kernel, model])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- lookups --------------------------------------------------------------
+    def get(self, key: StoreKey) -> SuggestionVerdict | None:
+        """The stored verdict for ``key``, or ``None`` (miss / corrupt entry)."""
+
+        def validate(payload: dict) -> SuggestionVerdict:
+            if payload["schema"] != STORE_SCHEMA:
+                raise ValueError(f"schema {payload['schema']} != {STORE_SCHEMA}")
+            recorded = (payload["language"], payload["kernel"], payload["model"])
+            if recorded != key[1:] or payload["code_sha"] != self._code_sha(key[0]):
+                raise ValueError("entry does not match the requested key")
+            return SuggestionVerdict.from_payload(payload["verdict"])
+
+        return self._load_entry(self.digest(key), validate)
+
+    def put(self, key: StoreKey, verdict: SuggestionVerdict) -> None:
+        """Persist a verdict (idempotent, atomic, fail-soft)."""
+        payload = {
+            "schema": STORE_SCHEMA,
+            "language": key[1],
+            "kernel": key[2],
+            "model": key[3],
+            "code_sha": self._code_sha(key[0]),
+            "verdict": verdict.to_payload(),
+        }
+        self._store_entry(self.digest(key), payload)
+
+    @staticmethod
+    def _code_sha(code: str) -> str:
+        return hashlib.sha256(code.encode("utf-8")).hexdigest()

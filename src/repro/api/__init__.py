@@ -19,7 +19,13 @@ layering and determinism contract: ``docs/architecture.md``):
   ``cache`` subcommand) that makes warm re-runs skip sandbox execution
   entirely.
 * The shard payload helpers behind the ``repro shard`` / ``repro merge``
-  CLI subcommands.
+  CLI subcommands, plus :class:`IncrementalMerge` for folding shards in as
+  they complete.
+* :meth:`Session.dispatch` / :class:`~repro.dispatch.ShardDriver` — the
+  resumable distributed driver (re-exported from :mod:`repro.dispatch`)
+  with its shard-level :class:`~repro.dispatch.ResultStore`: completed
+  shard payloads survive the process, so a killed run resumes instead of
+  recomputing, and a complete dispatch is byte-identical to ``run --json``.
 
 The free functions in :mod:`repro.harness.experiments` are deprecated thin
 wrappers over the process-default :class:`Session` (migration table in
@@ -50,6 +56,7 @@ from repro.api.session import Session, default_session, reset_default_session
 from repro.api.spec import (
     SHARD_FORMAT,
     ExperimentSpec,
+    IncrementalMerge,
     Shard,
     ShardEntry,
     ShardManifest,
@@ -58,12 +65,35 @@ from repro.api.spec import (
     merge_shard_payloads,
     shard_payload,
 )
+#: Names re-exported lazily from :mod:`repro.dispatch` (PEP 562): the
+#: dispatch layer imports ``repro.api.spec``, so importing it eagerly here
+#: would be circular whenever ``repro.dispatch`` is imported first.
+_DISPATCH_EXPORTS = frozenset(
+    {
+        "DISPATCH_BACKENDS",
+        "DispatchReport",
+        "ResultStore",
+        "ShardDriver",
+        "ShardOutcome",
+        "default_result_store_path",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _DISPATCH_EXPORTS:
+        import repro.dispatch
+
+        return getattr(repro.dispatch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Session",
     "default_session",
     "reset_default_session",
     "ExperimentSpec",
+    "IncrementalMerge",
     "Shard",
     "ShardEntry",
     "ShardManifest",
@@ -77,4 +107,10 @@ __all__ = [
     "ExperimentReport",
     "VerdictStore",
     "default_store_path",
+    "DISPATCH_BACKENDS",
+    "DispatchReport",
+    "ResultStore",
+    "ShardDriver",
+    "ShardOutcome",
+    "default_result_store_path",
 ]

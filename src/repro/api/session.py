@@ -299,6 +299,55 @@ class Session:
         _, _, resolved = self._resolve(None, None, backend)
         return self._runner(seed, spec.config, resolved).run_cells(spec.cells())
 
+    def dispatch(
+        self,
+        spec: ExperimentSpec | None = None,
+        *,
+        shards: int = 4,
+        backend: str = "inline",
+        result_store=None,
+        queue=None,
+        max_shards: int | None = None,
+        max_workers: int | None = None,
+        on_shard=None,
+    ):
+        """Distribute a spec across shard workers, resumably.
+
+        The session-level entry to :class:`repro.dispatch.ShardDriver`:
+        partitions ``spec`` (default: this session's seed and config over
+        the full grid) into ``shards`` slices per seed, skips every shard
+        already present in ``result_store``, dispatches the rest to the
+        ``"inline"`` / ``"process"`` / ``"file-queue"`` backend, and
+        streams partial merges as shards complete — ``progress`` fires per
+        cell and ``on_shard`` per completed shard, both in submission
+        order.  Inline shards run on this session's pooled runners (and
+        its verdict store), so ``sandbox_executions`` / ``store_hits``
+        keep aggregating here.
+
+        Returns a :class:`repro.dispatch.DispatchReport`; when it is
+        ``complete``, ``report.result()`` is byte-identical to the
+        unsharded run, and a re-run against the same ``result_store``
+        re-executes zero completed shards.
+        """
+        from repro.dispatch.driver import ShardDriver
+
+        if spec is None:
+            spec = ExperimentSpec(seeds=(self.seed,), config=self.config)
+        driver = ShardDriver(
+            spec,
+            shards=shards,
+            backend=backend,
+            result_store=result_store,
+            verdict_store=self.verdict_store,
+            max_workers=max_workers,
+            queue=queue,
+            progress=self.progress,
+            on_shard=on_shard,
+            max_shards=max_shards,
+            runner_factory=lambda seed, config: self._runner(seed, config, "serial"),
+        )
+        return driver.run()
+
     def sweep(
         self,
         seeds: Iterable[int],

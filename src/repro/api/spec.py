@@ -31,6 +31,7 @@ from repro.models.programming_models import get_model
 
 __all__ = [
     "ExperimentSpec",
+    "IncrementalMerge",
     "Shard",
     "ShardEntry",
     "ShardManifest",
@@ -369,3 +370,94 @@ def merge_shard_parts(
 def merge_shard_payloads(payloads: Iterable[dict]) -> dict[int, ResultSet]:
     """``merge_shard_parts`` over raw JSON payloads (the CLI merge path)."""
     return merge_shard_parts([load_shard_payload(payload) for payload in payloads])
+
+
+class IncrementalMerge:
+    """Streamed shard merging: fold evaluated shards in as they complete.
+
+    Where :func:`merge_shard_parts` needs every part up front, an
+    ``IncrementalMerge`` accepts ``(entry, results)`` pairs one at a time —
+    the order shards *finish* in, which under a distributed driver is
+    arbitrary — and keeps a canonically-ordered partial merge per seed at
+    every step (via :meth:`~repro.core.runner.ResultSet.merge_in`).  The
+    final merged records are therefore identical whatever the arrival
+    order, and :meth:`merged` still refuses to pretend completeness: it
+    validates the accumulated entries through :class:`ShardManifest` before
+    handing anything back.
+
+    Consistency is checked *eagerly*: the first entry fixes the run's
+    config fingerprint, grid digest and grid size, and any later entry
+    disagreeing with them (or duplicating a cell) raises at :meth:`add`
+    time — a bad shard is rejected the moment it arrives, not after every
+    other machine has finished.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[ShardEntry] = []
+        self._per_seed: dict[int, ResultSet] = {}
+
+    def __len__(self) -> int:
+        """Shards merged so far."""
+        return len(self._entries)
+
+    @property
+    def cells_merged(self) -> int:
+        return sum(len(results) for results in self._per_seed.values())
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(self._per_seed)
+
+    def add(self, entry: ShardEntry, results: ResultSet) -> None:
+        """Fold one evaluated shard into the partial merge (validated)."""
+        if len(results) != entry.stop - entry.start:
+            raise ValueError(
+                f"shard [{entry.start}, {entry.stop}) declares "
+                f"{entry.stop - entry.start} cells but carries {len(results)} records"
+            )
+        if self._entries:
+            first = self._entries[0]
+            if entry.fingerprint != first.fingerprint:
+                raise ValueError(
+                    f"shard carries config fingerprint {entry.fingerprint}, "
+                    f"merge expects {first.fingerprint}"
+                )
+            if entry.grid != first.grid:
+                raise ValueError(
+                    f"shard carries cell grid {entry.grid}, merge expects {first.grid}"
+                )
+            if entry.total_cells != first.total_cells:
+                raise ValueError(
+                    f"shard declares a grid of {entry.total_cells} cells, "
+                    f"merge expects {first.total_cells}"
+                )
+        accumulator = self._per_seed.setdefault(entry.seed, ResultSet(seed=entry.seed))
+        accumulator.merge_in(results)
+        self._entries.append(entry)
+
+    def partial(self) -> dict[int, ResultSet]:
+        """The canonically-ordered merge of everything added so far.
+
+        The returned sets are the live accumulators (they grow with later
+        :meth:`add` calls); completeness is *not* implied — that is
+        :meth:`merged`'s job.
+        """
+        return dict(self._per_seed)
+
+    def is_complete(self) -> bool:
+        """Whether the added entries tile every seed's full grid."""
+        try:
+            ShardManifest.from_entries(self._entries)
+        except ValueError:
+            return False
+        return True
+
+    def merged(self) -> dict[int, ResultSet]:
+        """The complete merged results, validated through the manifest.
+
+        Raises ``ValueError`` while slices are missing, exactly like
+        :func:`merge_shard_parts`; when it returns, each seed's
+        ``to_records()`` is byte-identical to the unsharded run.
+        """
+        manifest = ShardManifest.from_entries(self._entries)
+        return {seed: self._per_seed[seed] for seed in manifest.seeds}

@@ -13,7 +13,9 @@ The runner dispatches cell evaluation to one of three executor backends:
     A :class:`~concurrent.futures.ProcessPoolExecutor`; each worker builds
     its own evaluator from ``(config, seed)`` once and evaluates chunks of
     cells.  Use this to put multiple cores behind the sandbox-heavy Python
-    cells.
+    cells.  When the pool would resolve to a single worker (one-core host),
+    evaluation runs in-process instead — a one-worker pool can only add
+    fork/IPC overhead on top of serial work.
 
 Because every cell owns an order-independent random stream, all three
 backends produce byte-identical :meth:`ResultSet.to_records` output; results
@@ -42,7 +44,14 @@ from repro.models.grid import (
 )
 from repro.sandbox.executor import sandbox_execution_count
 
-__all__ = ["ResultSet", "RecordResult", "EvaluationRunner", "BACKENDS"]
+__all__ = [
+    "ResultSet",
+    "RecordResult",
+    "EvaluationRunner",
+    "BACKENDS",
+    "MIN_CHUNK_CELLS",
+    "default_chunk_size",
+]
 
 #: Executor backends understood by :class:`EvaluationRunner`.
 BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
@@ -194,6 +203,23 @@ class ResultSet:
             out.add(RecordResult(record))
         return out
 
+    def merge_in(self, *parts: "ResultSet") -> "ResultSet":
+        """Merge more partial sets into this one, in place, canonically.
+
+        The incremental form of :meth:`merge` used by streamed shard
+        merging (:class:`repro.api.IncrementalMerge`): after every call the
+        set holds the union of its previous results and all ``parts``,
+        sorted into the canonical grid enumeration — so the final records
+        are identical whatever order the parts arrive in.  Seed and
+        duplicate-cell validation are exactly :meth:`merge`'s; on error the
+        set is left unchanged.  Returns ``self`` for chaining.
+        """
+        merged = ResultSet.merge(self, *parts)
+        self.results = merged.results
+        self._by_cell = merged._by_cell
+        self._by_field = merged._by_field
+        return self
+
     @classmethod
     def merge(cls, *parts: "ResultSet") -> "ResultSet":
         """Combine disjoint partial result sets into one canonically-ordered set.
@@ -270,6 +296,24 @@ def _chunked(cells: list[ExperimentCell], chunk_size: int) -> list[list[Experime
     return [cells[i : i + chunk_size] for i in range(0, len(cells), chunk_size)]
 
 
+#: Smallest chunk the default dispatch policy will cut.  Below this the
+#: per-chunk overhead (pickling, executor wakeups, future bookkeeping) is
+#: comparable to evaluating the cells, so finer chunks make the parallel
+#: backends *slower* than serial on the stock grid.
+MIN_CHUNK_CELLS = 8
+
+
+def default_chunk_size(n_cells: int, workers: int) -> int:
+    """Cells per dispatched work item when ``chunk_size`` is not given.
+
+    Targets ~2 chunks per worker — enough slack for stragglers (the
+    sandbox-heavy Python cells) to rebalance, without shredding the grid
+    into confetti — and never cuts below :data:`MIN_CHUNK_CELLS`; for small
+    grids idle workers beat per-chunk overhead.
+    """
+    return max(MIN_CHUNK_CELLS, -(-n_cells // (max(1, workers) * 2)))
+
+
 @dataclass
 class EvaluationRunner:
     """Runs the evaluation over languages or the full grid.
@@ -281,8 +325,10 @@ class EvaluationRunner:
     max_workers:
         Worker count for the parallel backends (executor default when None).
     chunk_size:
-        Cells per dispatched work item; defaults to roughly four chunks per
-        worker so stragglers (sandbox-heavy Python cells) rebalance.
+        Cells per dispatched work item; defaults to
+        :func:`default_chunk_size` (~2 chunks per worker with a floor of
+        :data:`MIN_CHUNK_CELLS`) so stragglers rebalance without paying
+        per-chunk overhead comparable to the work itself.
     progress:
         Callback invoked with each :class:`CellResult`; under the parallel
         backends it fires as chunks complete, in submission order.
@@ -379,15 +425,25 @@ class EvaluationRunner:
         results = ResultSet(seed=self.seed)
         if not cells:
             return results
+        if self.backend == "process" and self._resolved_workers() == 1:
+            # A one-worker subprocess pool is serial evaluation plus fork,
+            # IPC and result-pickling overhead — it can never beat the
+            # calling thread.  Evaluate in-process instead (byte-identical
+            # by the determinism contract), so the process backend at least
+            # breaks even on single-core hosts.
+            return self._run_serial(cells)
         executor = self._get_executor()
-        chunk_size = self.chunk_size or max(1, -(-len(cells) // (self._workers * 4)))
+        chunk_size = self.chunk_size or default_chunk_size(len(cells), self._workers)
         chunks = _chunked(cells, chunk_size)
         if self.backend == "thread":
             evaluator = self.evaluator
             evaluate = lambda chunk: [evaluator.evaluate_cell(cell) for cell in chunk]
         else:
             evaluate = _evaluate_chunk_in_worker
-        with self._count_local_work():
+        counting = (
+            contextlib.nullcontext() if self.backend == "process" else self._count_local_work()
+        )
+        with counting:
             futures = [executor.submit(evaluate, chunk) for chunk in chunks]
             # Collect in submission order: the result list (and therefore
             # to_records) is identical to a serial run regardless of which
@@ -408,12 +464,10 @@ class EvaluationRunner:
     def _count_local_work(self):
         """Attribute in-process sandbox executions / store hits to this runner.
 
-        Process-backend work is counted from the per-chunk deltas the workers
-        report instead (the in-process counters never move there).
+        Wraps every in-process evaluation path (serial, thread chunks, and
+        the process backend's single-worker shortcut); process-pool work is
+        counted from the per-chunk deltas the workers report instead.
         """
-        if self.backend == "process":
-            yield
-            return
         executions_before = sandbox_execution_count()
         hits_before = self.verdict_store.hits if self.verdict_store is not None else 0
         try:
@@ -423,11 +477,16 @@ class EvaluationRunner:
             if self.verdict_store is not None:
                 self._store_hits += self.verdict_store.hits - hits_before
 
+    def _resolved_workers(self) -> int:
+        """Worker count of the (eventual) pool: the explicit ``max_workers``
+        or one per core up to 8 — from the hardware, never from the first
+        run's cell count, because the pool outlives run_cells calls of very
+        different sizes."""
+        return self.max_workers or min(8, os.cpu_count() or 1)
+
     def _get_executor(self) -> Executor:
         if self._executor is None:
-            # Size from the hardware, never from the first run's cell count:
-            # the pool outlives run_cells calls of very different sizes.
-            self._workers = self.max_workers or min(8, os.cpu_count() or 1)
+            self._workers = self._resolved_workers()
             if self.backend == "thread":
                 self._executor = ThreadPoolExecutor(max_workers=self._workers)
             else:

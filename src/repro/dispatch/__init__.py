@@ -1,0 +1,44 @@
+"""repro.dispatch — resumable distributed dispatch of experiment shards.
+
+The driver layer above :mod:`repro.api`'s sharding machinery:
+
+* :class:`~repro.dispatch.driver.ShardDriver` partitions an
+  :class:`~repro.api.ExperimentSpec`, skips every shard already present in
+  the :class:`~repro.dispatch.store.ResultStore`, dispatches the rest to a
+  pluggable worker backend (``inline`` / ``process`` / ``file-queue``),
+  streams partial merges as shards complete, and manifest-validates the
+  final merge — byte-identical to an unsharded run.
+* :class:`~repro.dispatch.store.ResultStore` persists completed shard
+  payloads (content-keyed on config fingerprint, grid digest, seed, cell
+  slice and analysis version), making any driver re-run resume instead of
+  recompute.
+* :class:`~repro.dispatch.queue.FileQueue` / :func:`~repro.dispatch.queue.drain_queue`
+  let any host that mounts a shared directory contribute worker cycles
+  (``repro-hpc-codex dispatch-worker``).
+
+The supported entry points are :meth:`repro.api.Session.dispatch` and the
+``repro-hpc-codex dispatch`` CLI subcommand; this package is the machinery
+behind them.
+"""
+
+from __future__ import annotations
+
+from repro.dispatch.driver import (
+    DISPATCH_BACKENDS,
+    DispatchReport,
+    ShardDriver,
+    ShardOutcome,
+)
+from repro.dispatch.queue import FileQueue, drain_queue
+from repro.dispatch.store import ResultStore, default_result_store_path
+
+__all__ = [
+    "DISPATCH_BACKENDS",
+    "DispatchReport",
+    "FileQueue",
+    "ResultStore",
+    "ShardDriver",
+    "ShardOutcome",
+    "default_result_store_path",
+    "drain_queue",
+]

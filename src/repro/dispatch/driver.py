@@ -1,0 +1,483 @@
+"""Resumable shard dispatch: partition a spec, farm it out, merge the stream.
+
+A :class:`ShardDriver` turns a declarative
+:class:`~repro.api.spec.ExperimentSpec` into a crash-safe distributed run:
+
+1. **Partition** — the spec is cut into ``shards`` contiguous
+   :class:`~repro.api.spec.Shard`s per seed (PR 2's manifest machinery).
+2. **Resume check** — every shard is first looked up in the
+   :class:`~repro.dispatch.store.ResultStore`; hits are *skipped* entirely,
+   so a driver killed mid-run re-executes nothing it already finished.
+3. **Dispatch** — misses go to one of three pluggable worker backends:
+   ``inline`` (evaluate in this process), ``process`` (a subprocess pool),
+   or ``file-queue`` (a shared directory any host can drain with
+   ``repro-hpc-codex dispatch-worker`` — see :mod:`repro.dispatch.queue`).
+4. **Stream** — shard payloads are folded into an
+   :class:`~repro.api.spec.IncrementalMerge` the moment they complete, and
+   ``progress`` / ``on_shard`` callbacks fire in **submission order** — the
+   same ordering contract :class:`~repro.core.runner.EvaluationRunner`
+   gives per-cell progress, extended to shards.
+5. **Validate** — the final merge goes through
+   :class:`~repro.api.spec.ShardManifest`, so a complete dispatch is
+   byte-identical to an unsharded ``run --json`` and an incomplete one can
+   never masquerade as complete.
+
+Every executed shard is written back to the store before its callbacks
+fire, so the crash window never loses more than the shard in flight.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.analysis.store import VerdictStore
+from repro.api.spec import (
+    ExperimentSpec,
+    IncrementalMerge,
+    Shard,
+    ShardEntry,
+    load_shard_payload,
+    shard_payload,
+)
+from repro.core.runner import EvaluationRunner, ResultSet
+from repro.dispatch.queue import FileQueue
+from repro.dispatch.runners import RunnerPool
+from repro.dispatch.store import ResultStore
+
+__all__ = ["DISPATCH_BACKENDS", "DispatchReport", "ShardDriver", "ShardOutcome"]
+
+#: Worker backends understood by :class:`ShardDriver`.
+DISPATCH_BACKENDS: tuple[str, ...] = ("inline", "process", "file-queue")
+
+#: How long a file-queue claim may sit without a result before a resuming
+#: driver offers the shard to other workers again (a crashed worker's claim
+#: must not wedge the run forever).
+STALE_CLAIM_SECONDS = 300.0
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One completed shard: where its records came from and what they cost."""
+
+    entry: ShardEntry
+    results: ResultSet
+    #: ``"store"`` (resume hit), ``"inline"``, ``"process"``, or
+    #: ``"file-queue"`` (evaluated locally through the queue) /
+    #: ``"remote"`` (another worker drained it).
+    source: str
+    seconds: float
+
+    @property
+    def cached(self) -> bool:
+        """True when the shard was served from the result store (skipped)."""
+        return self.source == "store"
+
+
+@dataclass
+class DispatchReport:
+    """What a :meth:`ShardDriver.run` accomplished.
+
+    ``outcomes`` lists every *completed* shard in submission order; when
+    ``complete`` is false (the driver hit ``max_shards`` — the crash-test
+    throttle) the remaining shards are still pending and ``results`` holds
+    the manifest-unvalidated partial merge.
+    """
+
+    spec: ExperimentSpec
+    #: Per-seed slice count the spec was partitioned into.
+    shards: int
+    outcomes: list[ShardOutcome] = field(default_factory=list)
+    results: dict[int, ResultSet] = field(default_factory=dict)
+    complete: bool = False
+    #: Suggestion modules executed by this driver's local workers.
+    sandbox_executions: int = 0
+    #: Persistent verdict-store hits observed by this driver's local workers.
+    verdict_store_hits: int = 0
+
+    @property
+    def shards_total(self) -> int:
+        return len(self.spec.seeds) * self.shards
+
+    @property
+    def executed(self) -> list[ShardOutcome]:
+        """Shards this driver evaluated locally (any backend)."""
+        return [o for o in self.outcomes if o.source in ("inline", "process", "file-queue")]
+
+    @property
+    def remote(self) -> list[ShardOutcome]:
+        """Shards another worker drained from the file queue."""
+        return [outcome for outcome in self.outcomes if outcome.source == "remote"]
+
+    @property
+    def skipped(self) -> list[ShardOutcome]:
+        """Shards served straight from the result store (zero re-execution)."""
+        return [outcome for outcome in self.outcomes if outcome.cached]
+
+    def result(self) -> ResultSet:
+        """The merged records of a complete single-seed dispatch."""
+        if not self.complete:
+            raise ValueError(
+                f"dispatch is incomplete ({len(self.outcomes)}/{self.shards_total} "
+                "shards done); re-run against the same result store to resume"
+            )
+        if len(self.results) != 1:
+            raise ValueError(f"dispatch covers seeds {sorted(self.results)}; use .results")
+        return next(iter(self.results.values()))
+
+    def summary(self) -> str:
+        """One status line: totals, split by provenance."""
+        state = "complete" if self.complete else f"PARTIAL {len(self.outcomes)}/{self.shards_total}"
+        line = (
+            f"dispatch {state}: {self.shards_total} shard(s), "
+            f"executed={len(self.executed)} skipped={len(self.skipped)}"
+        )
+        if self.remote:
+            line += f" remote={len(self.remote)}"
+        return line
+
+
+def _evaluate_shard_in_subprocess(
+    spec: ExperimentSpec, index: int, of: int, store_path: str | None
+) -> tuple[list[dict], int, int, float]:
+    """Process-backend worker: evaluate one shard, return its records.
+
+    Returns ``(records, sandbox executions, verdict-store hits, seconds)``
+    — the counter deltas let the parent driver aggregate across the pool
+    exactly as :class:`EvaluationRunner`'s chunk workers do, and the
+    worker-measured seconds are the shard's own evaluation cost (the parent
+    cannot separate queueing from computing).
+    """
+    shard = spec.shard(index, of)
+    store = None if store_path is None else VerdictStore(store_path)
+    start = time.perf_counter()
+    with EvaluationRunner(config=spec.config, seed=shard.seed, verdict_store=store) as runner:
+        results = runner.run_cells(shard.cells())
+        seconds = time.perf_counter() - start
+        return results.to_records(), runner.sandbox_executions, runner.store_hits, seconds
+
+
+class ShardDriver:
+    """Dispatch a spec's shards to workers, resumably (module docstring).
+
+    Parameters
+    ----------
+    spec:
+        The run to evaluate.
+    shards:
+        Contiguous slices per seed (``spec.partition(shards)``).
+    backend:
+        ``"inline"`` (default), ``"process"`` or ``"file-queue"``.
+    result_store:
+        Where completed shard payloads survive the process:  a
+        :class:`~repro.dispatch.store.ResultStore`, a path, ``True`` for
+        the default location, or ``None`` (dispatch still works, nothing is
+        resumable).
+    verdict_store:
+        Optional persistent verdict cache handed to every local worker
+        (suggestion-level resume, orthogonal to the shard-level store).
+    max_workers:
+        Subprocess-pool width for the ``process`` backend.
+    queue:
+        Queue directory (or :class:`~repro.dispatch.queue.FileQueue`) for
+        the ``file-queue`` backend.
+    progress:
+        Per-cell callback, fired in submission order: live during inline
+        evaluation, per completed shard otherwise (store hits and remote
+        shards deliver :class:`~repro.core.runner.RecordResult`s).
+    on_shard:
+        Per-shard callback receiving each :class:`ShardOutcome` in
+        submission order — the hook an incremental table/figure renderer
+        attaches to.
+    max_shards:
+        Stop after locally executing this many shards (the deterministic
+        stand-in for ``kill -9`` in crash/resume tests and CI).  The run
+        reports ``complete=False``; re-running resumes from the store.
+    runner_factory:
+        Advanced hook (used by :meth:`repro.api.Session.dispatch`) supplying
+        pooled runners for inline evaluation, ``(seed, config) -> runner``.
+    poll_interval:
+        File-queue polling cadence while waiting on other workers.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        *,
+        shards: int = 4,
+        backend: str = "inline",
+        result_store: ResultStore | str | Path | bool | None = None,
+        verdict_store: VerdictStore | str | Path | bool | None = None,
+        max_workers: int | None = None,
+        queue: FileQueue | str | Path | None = None,
+        progress: Callable | None = None,
+        on_shard: Callable[[ShardOutcome], None] | None = None,
+        max_shards: int | None = None,
+        runner_factory: Callable[[int, object], EvaluationRunner] | None = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if backend not in DISPATCH_BACKENDS:
+            raise ValueError(f"unknown dispatch backend {backend!r}; choose from {DISPATCH_BACKENDS}")
+        if shards < 1:
+            raise ValueError(f"cannot dispatch {shards} shards")
+        if backend == "file-queue" and queue is None:
+            raise ValueError("the file-queue backend needs a queue directory (queue=...)")
+        if max_shards is not None and max_shards < 0:
+            raise ValueError(f"max_shards must be >= 0, got {max_shards}")
+        self.spec = spec
+        self.shards = shards
+        self.backend = backend
+        self.result_store = ResultStore.coerce(result_store)
+        self.verdict_store = VerdictStore.coerce(verdict_store)
+        self.max_workers = max_workers
+        self.queue = queue if isinstance(queue, FileQueue) or queue is None else FileQueue(queue)
+        self.progress = progress
+        self.on_shard = on_shard
+        self.max_shards = max_shards
+        self.poll_interval = poll_interval
+        self._runner_factory = runner_factory
+        self._own_runners = RunnerPool(verdict_store=self.verdict_store, progress=progress)
+        #: Earliest time the next stale-claim sweep is allowed (requeue_stale
+        #: walks and stats the whole claims directory — potentially on NFS —
+        #: so the wait loops throttle it instead of sweeping every poll).
+        self._next_stale_sweep = 0.0
+
+    # -- driving ---------------------------------------------------------------
+    def run(self) -> DispatchReport:
+        """Dispatch every shard not already in the store; merge the stream."""
+        report = DispatchReport(spec=self.spec, shards=self.shards)
+        merge = IncrementalMerge()
+        plan = self.spec.partition(self.shards)
+        cached: dict[int, ResultSet] = {}
+        for shard in plan:
+            if self.result_store is not None:
+                hit = self.result_store.get(shard.entry())
+                if hit is not None:
+                    cached[shard.index] = hit
+        pending = [shard for shard in plan if shard.index not in cached]
+        budget = len(pending) if self.max_shards is None else min(self.max_shards, len(pending))
+        try:
+            runners = {
+                "inline": self._drive_inline,
+                "process": self._drive_process,
+                "file-queue": self._drive_queue,
+            }
+            for outcome in runners[self.backend](plan, cached, budget, report):
+                self._complete_shard(outcome, merge, report)
+        finally:
+            self._close_runners()
+        report.complete = len(report.outcomes) == report.shards_total
+        report.results = merge.merged() if report.complete else merge.partial()
+        return report
+
+    def _complete_shard(
+        self, outcome: ShardOutcome, merge: IncrementalMerge, report: DispatchReport
+    ) -> None:
+        """Persist, merge and announce one completed shard (in order)."""
+        if self.result_store is not None and not outcome.cached:
+            self.result_store.put(outcome.entry, outcome.results)
+        merge.add(outcome.entry, outcome.results)
+        if self.progress is not None and outcome.source not in ("inline", "file-queue"):
+            # Locally-executed shards ("inline", and "file-queue" claims this
+            # driver evaluated itself) already streamed per-cell progress
+            # live through their runner; every other source delivers the
+            # shard's cells here, still in submission order.
+            for result in outcome.results:
+                self.progress(result)
+        report.outcomes.append(outcome)
+        if self.on_shard is not None:
+            self.on_shard(outcome)
+
+    # -- inline backend --------------------------------------------------------
+    def _drive_inline(
+        self,
+        plan: list[Shard],
+        cached: dict[int, ResultSet],
+        budget: int,
+        report: DispatchReport,
+    ) -> Iterator[ShardOutcome]:
+        for shard in plan:
+            if shard.index in cached:
+                yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
+                continue
+            if budget <= 0:
+                # Budget spent (crash simulation): skip the shard but keep
+                # serving later store hits, so the report and partial merge
+                # reflect everything that is actually done.
+                continue
+            budget -= 1
+            runner = self._runner(shard.seed)
+            executions, hits = runner.sandbox_executions, runner.store_hits
+            start = time.perf_counter()
+            results = runner.run_cells(shard.cells())
+            seconds = time.perf_counter() - start
+            report.sandbox_executions += runner.sandbox_executions - executions
+            report.verdict_store_hits += runner.store_hits - hits
+            yield ShardOutcome(shard.entry(), results, "inline", seconds)
+
+    def _runner(self, seed: int) -> EvaluationRunner:
+        if self._runner_factory is not None:
+            return self._runner_factory(seed, self.spec.config)
+        return self._own_runners.runner(seed, self.spec.config)
+
+    def _close_runners(self) -> None:
+        self._own_runners.close()
+
+    # -- process backend -------------------------------------------------------
+    def _drive_process(
+        self,
+        plan: list[Shard],
+        cached: dict[int, ResultSet],
+        budget: int,
+        report: DispatchReport,
+    ) -> Iterator[ShardOutcome]:
+        to_execute = [shard for shard in plan if shard.index not in cached][:budget]
+        if not to_execute:
+            # Fully warm (or zero budget): serve store hits without paying
+            # for a pool nothing would run on.
+            for shard in plan:
+                if shard.index not in cached:
+                    return
+                yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
+            return
+        store_path = None if self.verdict_store is None else str(self.verdict_store.path)
+        # Same hardware-based sizing policy as EvaluationRunner's pools,
+        # additionally capped by the actual shard count.
+        workers = self.max_workers or min(8, os.cpu_count() or 1, len(to_execute))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _evaluate_shard_in_subprocess,
+                    shard.spec,
+                    shard.index,
+                    shard.of,
+                    store_path,
+                ): shard
+                for shard in to_execute
+            }
+            completed_order = as_completed(futures)
+            ready: dict[int, ShardOutcome] = {}
+
+            def drain_until(index: int) -> None:
+                # Pull pool results in *completion* order and persist each
+                # one to the store the moment it lands — while the driver
+                # waits on an early slow shard, later finished shards are
+                # already crash-safe on disk.  Only the yield below (and
+                # therefore callbacks and the merge) follows submission
+                # order.
+                while index not in ready:
+                    future = next(completed_order)
+                    done = futures[future]
+                    records, executions, hits, seconds = future.result()
+                    report.sandbox_executions += executions
+                    report.verdict_store_hits += hits
+                    results = ResultSet.from_payload(records, seed=done.seed)
+                    if self.result_store is not None:
+                        self.result_store.put(done.entry(), results)
+                    ready[done.index] = ShardOutcome(done.entry(), results, "process", seconds)
+
+            indexes = {shard.index for shard in to_execute}
+            for shard in plan:
+                if shard.index in cached:
+                    yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
+                    continue
+                if shard.index not in indexes:
+                    # Budget-excluded shard: skip it but keep serving any
+                    # later store hits, so the report and partial merge
+                    # reflect everything that is actually done.
+                    continue
+                drain_until(shard.index)
+                yield ready.pop(shard.index)
+
+    # -- file-queue backend ----------------------------------------------------
+    def _drive_queue(
+        self,
+        plan: list[Shard],
+        cached: dict[int, ResultSet],
+        budget: int,
+        report: DispatchReport,
+    ) -> Iterator[ShardOutcome]:
+        queue = self.queue
+        queue.requeue_stale(STALE_CLAIM_SECONDS)
+        pending = [shard for shard in plan if shard.index not in cached]
+        for shard in pending:
+            queue.publish(shard)
+        for shard in plan:
+            if shard.index in cached:
+                yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
+                continue
+            outcome = self._resolve_queued_shard(shard, budget, report)
+            if outcome is None:
+                # Unresolvable under the spent budget: skip it but keep
+                # serving later store hits and already-published results.
+                continue
+            if outcome.source == "file-queue":
+                budget -= 1
+            yield outcome
+
+    def _resolve_queued_shard(
+        self, shard: Shard, budget: int, report: DispatchReport
+    ) -> ShardOutcome | None:
+        """Wait for one queued shard: consume its result, or claim and
+        evaluate it ourselves; ``None`` when the execution budget is spent
+        and nobody else is producing it."""
+        name = self.queue.task_name(shard)
+        entry = shard.entry()
+        start = time.perf_counter()
+        while True:
+            payload = self.queue.result(name)
+            if payload is not None:
+                try:
+                    found, results = load_shard_payload(payload)
+                    if found != entry:
+                        raise ValueError(f"result for {name} describes a different shard")
+                except (ValueError, KeyError, TypeError):
+                    # A corrupt or foreign result can only cost a
+                    # re-evaluation, never enter the merge: drop it, release
+                    # the claim that produced it, and put the shard back on
+                    # offer.
+                    try:
+                        (self.queue.results_dir / f"{name}.json").unlink()
+                    except OSError:  # pragma: no cover - concurrent cleanup
+                        pass
+                    self.queue.release(name)
+                    self.queue.publish(shard)
+                    continue
+                return ShardOutcome(entry, results, "remote", time.perf_counter() - start)
+            if budget > 0:
+                descriptor = self.queue.claim(name)
+                if descriptor is not None:
+                    runner = self._runner(shard.seed)
+                    executions, hits = runner.sandbox_executions, runner.store_hits
+                    results = runner.run_cells(shard.cells())
+                    report.sandbox_executions += runner.sandbox_executions - executions
+                    report.verdict_store_hits += runner.store_hits - hits
+                    self.queue.complete(name, shard_payload(shard, results))
+                    return ShardOutcome(entry, results, "file-queue", time.perf_counter() - start)
+                # Another worker holds the claim: poll for its result,
+                # reclaiming if the claim goes stale (worker crashed).
+                self._sweep_stale_claims()
+                time.sleep(self.poll_interval)
+                continue
+            # Budget spent (crash simulation): only already-running remote
+            # work could still complete this shard; don't wait for it.
+            if name not in self.queue.pending() and self._claimed(name):
+                self._sweep_stale_claims()
+                time.sleep(self.poll_interval)
+                continue
+            return None
+
+    def _sweep_stale_claims(self) -> None:
+        """Throttled ``requeue_stale``: at most one directory sweep per
+        ``STALE_CLAIM_SECONDS / 10`` while the wait loops poll."""
+        now = time.monotonic()
+        if now >= self._next_stale_sweep:
+            self.queue.requeue_stale(STALE_CLAIM_SECONDS)
+            self._next_stale_sweep = now + max(1.0, STALE_CLAIM_SECONDS / 10)
+
+    def _claimed(self, name: str) -> bool:
+        return (self.queue.claims_dir / f"{name}.json").exists()

@@ -1,0 +1,276 @@
+"""Directory-based shard queue: dispatch work any host can drain.
+
+A :class:`FileQueue` is the zero-infrastructure worker backend of
+:mod:`repro.dispatch`: the driver publishes one **task file** per pending
+shard into a shared directory (NFS mount, synced folder, anything that
+supports atomic rename), and any number of workers — the driver itself, a
+``repro-hpc-codex dispatch-worker`` process on another machine — claim
+tasks by atomically renaming them and publish the evaluated shard payload
+back as a **result file**.  The layout::
+
+    queue/
+      tasks/<name>.json      pending shard descriptors
+      claims/<name>.json     tasks a worker has claimed (rename target)
+      results/<name>.json    completed repro.shard/v1 payloads
+
+``os.rename`` from ``tasks/`` to ``claims/`` is the claim: exactly one of
+any number of racing workers wins (the losers see ``FileNotFoundError`` and
+move on), so no shard is ever evaluated twice concurrently.  Task files
+carry the spec's coordinates *and* its config fingerprint + grid digest; a
+worker reconstructs the spec locally and **refuses the task if its local
+config fingerprints differently** — the same trust-the-manifest principle
+that guards merges guards distribution.  Results are the exact
+``repro.shard/v1`` payloads the ``merge`` subcommand consumes, validated on
+consumption.
+
+Claims left behind by a crashed worker are recovered with
+:meth:`FileQueue.requeue_stale`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import warnings
+from pathlib import Path
+
+from repro.api.spec import ExperimentSpec, Shard, shard_payload
+from repro.dispatch.runners import RunnerPool
+
+__all__ = ["TASK_FORMAT", "FileQueue", "drain_queue"]
+
+#: Format tag of one task-descriptor file.
+TASK_FORMAT = "repro.dispatch-task/v1"
+
+
+class FileQueue:
+    """A shard queue in a shared directory (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.tasks_dir = self.root / "tasks"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+        for directory in (self.tasks_dir, self.claims_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileQueue({str(self.root)!r})"
+
+    # -- naming ---------------------------------------------------------------
+    @staticmethod
+    def task_name(shard: Shard) -> str:
+        """Stable file name of a shard's task: the shard identity.
+
+        Two runs of the same spec share names, so re-publishing after a
+        crash is naturally idempotent — and two *different* specs can never
+        collide because the fingerprint and grid digest are part of the name.
+        """
+        entry = shard.entry()
+        return (
+            f"s{entry.seed}-{entry.start:05d}-{entry.stop:05d}"
+            f"-{entry.fingerprint[:12]}-{entry.grid[:12]}"
+        )
+
+    # -- publishing -----------------------------------------------------------
+    def publish(self, shard: Shard) -> bool:
+        """Write the task descriptor for one shard (atomic; idempotent).
+
+        Returns ``True`` when a new task file was published, ``False`` when
+        the shard is already pending, claimed or completed.
+        """
+        name = self.task_name(shard)
+        if any(
+            (directory / f"{name}.json").exists()
+            for directory in (self.tasks_dir, self.claims_dir, self.results_dir)
+        ):
+            return False
+        entry = shard.entry()
+        payload = {
+            "format": TASK_FORMAT,
+            "index": shard.index,
+            "of": shard.of,
+            "spec": shard.spec.to_payload(),
+            "grid": entry.grid,
+        }
+        self._write_atomic(self.tasks_dir / f"{name}.json", payload)
+        return True
+
+    # -- claiming -------------------------------------------------------------
+    def claim(self, name: str) -> dict | None:
+        """Try to claim one task; returns its descriptor, or ``None`` if
+        another worker won the rename race (or the task vanished)."""
+        task = self.tasks_dir / f"{name}.json"
+        claimed = self.claims_dir / f"{name}.json"
+        try:
+            os.rename(task, claimed)
+        except OSError:
+            return None
+        try:
+            # Stamp the claim: rename preserves the publish-time mtime, but
+            # staleness (requeue_stale) must measure time since *claiming*.
+            os.utime(claimed)
+            return json.loads(claimed.read_text("utf-8"))
+        except (OSError, ValueError):
+            # Lost a race with a concurrent requeue_stale (the pre-utime
+            # mtime looked ancient), or the descriptor bytes are unreadable:
+            # either way this worker did not get a usable claim.
+            return None
+
+    def claim_next(self, *, skip: set[str] | None = None) -> tuple[str, dict] | None:
+        """Claim the first available task in name order, racing politely.
+
+        ``skip`` names tasks this worker already refused (foreign config);
+        without it a released poison task would be re-claimed forever.
+        """
+        for task in sorted(self.tasks_dir.glob("*.json")):
+            if skip and task.stem in skip:
+                continue
+            descriptor = self.claim(task.stem)
+            if descriptor is not None:
+                return task.stem, descriptor
+        return None
+
+    def release(self, name: str) -> None:
+        """Return a claimed task to the pending pool (worker gave up)."""
+        try:
+            os.rename(self.claims_dir / f"{name}.json", self.tasks_dir / f"{name}.json")
+        except OSError:  # pragma: no cover - concurrent recovery
+            pass
+
+    def requeue_stale(self, stale_after: float) -> int:
+        """Move claims older than ``stale_after`` seconds back to pending.
+
+        A crashed worker leaves its claim behind; a resuming driver calls
+        this so the shard is offered again instead of waiting forever.
+        """
+        requeued = 0
+        now = time.time()
+        for claim in self.claims_dir.glob("*.json"):
+            if (self.results_dir / claim.name).exists():
+                continue
+            try:
+                if now - claim.stat().st_mtime >= stale_after:
+                    os.rename(claim, self.tasks_dir / claim.name)
+                    requeued += 1
+            except OSError:  # pragma: no cover - concurrent recovery
+                pass
+        return requeued
+
+    # -- results --------------------------------------------------------------
+    def complete(self, name: str, payload: dict) -> None:
+        """Publish the evaluated ``repro.shard/v1`` payload for a task."""
+        self._write_atomic(self.results_dir / f"{name}.json", payload)
+
+    def result(self, name: str) -> dict | None:
+        """The completed payload for a task, or ``None`` while outstanding.
+
+        An unparsable result file (truncated writer) is dropped *and the
+        task's claim released*, so the shard goes back on offer instead of
+        wedging behind a result nobody can read — degradation to
+        re-evaluation, never wrong records.
+        """
+        path = self.results_dir / f"{name}.json"
+        try:
+            return json.loads(path.read_text("utf-8"))
+        except OSError:
+            return None
+        except ValueError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+            self.release(name)
+            return None
+
+    def pending(self) -> list[str]:
+        """Names of currently unclaimed tasks, in name order."""
+        return sorted(task.stem for task in self.tasks_dir.glob("*.json"))
+
+    # -- task reconstruction ---------------------------------------------------
+    @staticmethod
+    def load_task(descriptor: dict) -> Shard:
+        """Rebuild the shard a task describes, refusing untrusted tasks.
+
+        The spec is reconstructed from its coordinates with this worker's
+        **local default config**; if the reconstruction's fingerprint or
+        grid digest disagrees with what the task declares, the worker's
+        evaluation would silently diverge from the driver's expectation —
+        so it raises instead (specs with custom configs must use the
+        ``inline`` or ``process`` backends, which share the config object).
+        """
+        if descriptor.get("format") != TASK_FORMAT:
+            raise ValueError(f"not a {TASK_FORMAT} descriptor: {descriptor.get('format')!r}")
+        spec_payload = descriptor["spec"]
+        spec = ExperimentSpec(
+            seeds=tuple(spec_payload["seeds"]),
+            languages=tuple(spec_payload["languages"]),
+            models=None if spec_payload["models"] is None else tuple(spec_payload["models"]),
+            kernels=None if spec_payload["kernels"] is None else tuple(spec_payload["kernels"]),
+        )
+        if spec.fingerprint() != spec_payload["fingerprint"]:
+            raise ValueError(
+                f"task expects config fingerprint {spec_payload['fingerprint']} but this "
+                f"worker's default config fingerprints to {spec.fingerprint()}; "
+                "custom-config specs cannot be dispatched through a file queue"
+            )
+        if spec.grid_digest() != descriptor["grid"]:
+            raise ValueError(
+                f"task expects grid {descriptor['grid']} but the reconstructed spec "
+                f"enumerates grid {spec.grid_digest()}"
+            )
+        return spec.shard(int(descriptor["index"]), int(descriptor["of"]))
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp",
+            delete=False, encoding="utf-8",
+        )
+        with handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(handle.name, path)
+
+
+def drain_queue(
+    queue: FileQueue | str | Path,
+    *,
+    max_tasks: int | None = None,
+    verdict_store=None,
+    progress=None,
+) -> int:
+    """Claim and evaluate pending tasks until the queue is empty.
+
+    This is the worker loop behind ``repro-hpc-codex dispatch-worker``: any
+    host that can see the queue directory runs it to contribute cycles to a
+    dispatch.  Each claimed shard is evaluated serially (parallelism comes
+    from running more workers) and its ``repro.shard/v1`` payload published
+    for the driver to consume.  A task this worker cannot take (foreign
+    config fingerprint, mismatching grid, corrupt descriptor) is released
+    back — with a :class:`UserWarning` — and never re-claimed by this call,
+    so one poison task cannot wedge the worker or starve the valid tasks
+    behind it.  Returns the number of shards this call evaluated.
+    """
+    if not isinstance(queue, FileQueue):
+        queue = FileQueue(queue)
+    executed = 0
+    refused: set[str] = set()
+    with RunnerPool(verdict_store=verdict_store, progress=progress) as pool:
+        while max_tasks is None or executed < max_tasks:
+            claimed = queue.claim_next(skip=refused)
+            if claimed is None:
+                break
+            name, descriptor = claimed
+            try:
+                shard = queue.load_task(descriptor)
+            except (ValueError, KeyError, TypeError) as exc:
+                queue.release(name)
+                refused.add(name)
+                warnings.warn(f"refusing queued task {name}: {exc}", stacklevel=2)
+                continue
+            runner = pool.runner(shard.seed, shard.spec.config)
+            queue.complete(name, shard_payload(shard, runner.run_cells(shard.cells())))
+            executed += 1
+    return executed

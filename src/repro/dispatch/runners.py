@@ -1,0 +1,50 @@
+"""Shared worker-side runner pooling for the dispatch layer.
+
+Both the :class:`~repro.dispatch.driver.ShardDriver` (inline and
+file-queue-local execution) and :func:`~repro.dispatch.queue.drain_queue`
+(the ``dispatch-worker`` loop) evaluate shards on lazily-created serial
+:class:`~repro.core.runner.EvaluationRunner`s keyed on
+``(seed, config fingerprint)``; this module is the single implementation of
+that lifecycle so the two paths can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.runner import EvaluationRunner
+
+__all__ = ["RunnerPool"]
+
+
+class RunnerPool:
+    """Lazily-created serial runners keyed ``(seed, config fingerprint)``,
+    all sharing one verdict store and progress callback, closed together."""
+
+    def __init__(self, *, verdict_store=None, progress: Callable | None = None) -> None:
+        self.verdict_store = verdict_store
+        self.progress = progress
+        self._runners: dict[tuple[int, str], EvaluationRunner] = {}
+
+    def runner(self, seed: int, config) -> EvaluationRunner:
+        key = (seed, config.fingerprint())
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = self._runners[key] = EvaluationRunner(
+                config=config,
+                seed=seed,
+                progress=self.progress,
+                verdict_store=self.verdict_store,
+            )
+        return runner
+
+    def close(self) -> None:
+        for runner in self._runners.values():
+            runner.close()
+        self._runners.clear()
+
+    def __enter__(self) -> "RunnerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,160 @@
+"""Persistent, cross-process shard-result store.
+
+A :class:`ResultStore` is the shard-level sibling of
+:class:`~repro.analysis.store.VerdictStore`: where the verdict store caches
+one suggestion's analysis, the result store caches one **evaluated shard
+payload** — the complete per-cell records of one
+:class:`~repro.api.spec.Shard` — keyed on the shard's full identity
+``(config fingerprint, grid digest, seed, cell slice)`` plus
+:data:`~repro.analysis.verdict.ANALYSIS_VERSION`.  A
+:class:`~repro.dispatch.driver.ShardDriver` consults it before dispatching
+any shard, so a killed driver re-run (or a second driver sharing the
+directory) skips every shard an earlier run already completed, and the warm
+path reproduces the unsharded records byte-for-byte.
+
+Both stores share :class:`~repro.analysis.store.ContentStore` — the same
+two-level fanout layout, atomic ``os.replace`` publication, corrupt-entry
+dropping and fail-soft writes — so every degradation guarantee of the
+verdict store (truncation, foreign bytes, schema or analysis-version bumps
+→ recompute, never a wrong result) holds for shard payloads too.
+
+Example:
+
+>>> import tempfile
+>>> from repro.api import ExperimentSpec, Session
+>>> from repro.dispatch.store import ResultStore
+>>> spec = ExperimentSpec(seeds=(7,), languages=("julia",))
+>>> shard = spec.shard(0, 2)
+>>> tmp = tempfile.TemporaryDirectory()
+>>> store = ResultStore(tmp.name)
+>>> store.get(shard.entry()) is None  # empty store: a miss
+True
+>>> with Session(seed=7) as session:
+...     store.put(shard.entry(), session.run(shard))
+>>> len(store.get(shard.entry())) == len(shard)  # a later driver skips it
+True
+>>> tmp.cleanup()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.store import ContentStore, _default_cache_path
+from repro.analysis.verdict import ANALYSIS_VERSION
+from repro.api.spec import ShardEntry
+from repro.core.runner import ResultSet
+
+__all__ = ["RESULT_STORE_SCHEMA", "ResultStore", "default_result_store_path"]
+
+#: Version of the on-disk shard-payload format.  Bump on any change to the
+#: digest inputs or the entry payload; old entries then degrade to
+#: re-evaluation.  Behavior changes to the evaluation pipeline itself are
+#: covered by :data:`~repro.analysis.verdict.ANALYSIS_VERSION`, folded into
+#: every entry digest.
+RESULT_STORE_SCHEMA = 1
+
+
+def default_result_store_path() -> Path:
+    """The default on-disk location of the shared shard-result store.
+
+    ``$REPRO_RESULT_STORE`` overrides everything; otherwise the store lives
+    under the XDG cache directory (``~/.cache/repro-hpc-codex/results``).
+    """
+    return _default_cache_path("REPRO_RESULT_STORE", "results")
+
+
+class ResultStore(ContentStore):
+    """On-disk cache of evaluated shard payloads, shared across processes.
+
+    Keys are :class:`~repro.api.spec.ShardEntry` identities; values are the
+    shard's per-cell records exactly as :meth:`ResultSet.to_records`
+    produced them, so a store hit feeds the same bytes into a merge as a
+    fresh evaluation would.
+    """
+
+    @classmethod
+    def coerce(cls, value: "ResultStore | str | Path | bool | None") -> "ResultStore | None":
+        """Normalise every accepted store argument to a store (or ``None``).
+
+        ``None``/``False`` → no store (dispatch runs, but nothing survives
+        the process); ``True`` → a store at :func:`default_result_store_path`;
+        a path → a store there; a store → itself.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls(default_result_store_path())
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    def _schema(self) -> int:
+        return RESULT_STORE_SCHEMA
+
+    # -- keying ---------------------------------------------------------------
+    @staticmethod
+    def digest(entry: ShardEntry) -> str:
+        """Content digest of a shard identity.
+
+        Folds in the store schema, :data:`ANALYSIS_VERSION` (pipeline
+        behavior changes orphan cached shards), the spec's config
+        fingerprint and grid digest, and the exact ``(seed, cell slice)`` —
+        everything that determines the shard's records.
+        """
+        payload = json.dumps(
+            [
+                RESULT_STORE_SCHEMA,
+                ANALYSIS_VERSION,
+                entry.fingerprint,
+                entry.grid,
+                entry.seed,
+                entry.start,
+                entry.stop,
+                entry.total_cells,
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- lookups --------------------------------------------------------------
+    def get(self, entry: ShardEntry) -> ResultSet | None:
+        """The stored records for this shard, or ``None`` (miss / corrupt).
+
+        The stored identity and record count are validated against the
+        requested entry before anything is returned; mismatching or
+        truncated payloads are dropped and reported as misses, so every
+        failure mode degrades to re-evaluation — never to wrong records.
+        """
+
+        def validate(payload: dict) -> ResultSet:
+            if payload["schema"] != RESULT_STORE_SCHEMA:
+                raise ValueError(f"schema {payload['schema']} != {RESULT_STORE_SCHEMA}")
+            if ShardEntry.from_payload(payload["entry"]) != entry:
+                raise ValueError("entry does not match the requested shard")
+            records = payload["records"]
+            if not isinstance(records, list) or len(records) != entry.stop - entry.start:
+                raise ValueError(
+                    f"shard covers {entry.stop - entry.start} cells but the entry "
+                    f"carries {len(records) if isinstance(records, list) else '?'} records"
+                )
+            return ResultSet.from_payload(records, seed=entry.seed)
+
+        return self._load_entry(self.digest(entry), validate)
+
+    def put(self, entry: ShardEntry, results: ResultSet) -> None:
+        """Persist one evaluated shard (idempotent, atomic, fail-soft)."""
+        if len(results) != entry.stop - entry.start:
+            raise ValueError(
+                f"shard covers {entry.stop - entry.start} cells but results hold {len(results)}"
+            )
+        if results.seed != entry.seed:
+            raise ValueError(f"results carry seed {results.seed}, shard expects {entry.seed}")
+        payload = {
+            "schema": RESULT_STORE_SCHEMA,
+            "analysis": ANALYSIS_VERSION,
+            "entry": entry.to_payload(),
+            "records": results.to_records(),
+        }
+        self._store_entry(self.digest(entry), payload)

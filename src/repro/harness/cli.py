@@ -16,6 +16,15 @@ Sub-commands
                payload (manifest entry + records) for a later ``merge``.
 ``merge``      Validate shard payloads for completeness/consistency and merge
                them into the records of the unsharded run, byte-identically.
+``dispatch``   Partition the grid, dispatch the shards to a worker backend
+               (``inline``, ``process`` or ``file-queue``), stream the
+               merge, and — with ``--result-store`` — resume any earlier
+               killed run instead of re-executing its finished shards.  The
+               merged ``--json`` output is byte-identical to ``run --json``.
+``dispatch-worker``
+               Drain shard tasks from a ``file-queue`` directory: run this
+               on any host that mounts the queue to contribute cycles to a
+               ``dispatch --backend file-queue``.
 ``cache``      Inspect (``stats``) or empty (``clear``) the persistent
                verdict store.
 
@@ -25,6 +34,12 @@ the full grid looks like::
     repro-hpc-codex shard --index 0 --of 2 --out part0.json   # machine A
     repro-hpc-codex shard --index 1 --of 2 --out part1.json   # machine B
     repro-hpc-codex merge part0.json part1.json --json full.json
+
+or, letting the driver do the partitioning, merging and crash recovery::
+
+    repro-hpc-codex dispatch --shards 8 --backend file-queue \\
+        --queue /mnt/shared/q --result-store /mnt/shared/results --json full.json
+    repro-hpc-codex dispatch-worker --queue /mnt/shared/q   # any other host
 
 The global ``--verdict-store PATH`` flag (``auto`` = default cache location)
 attaches the persistent verdict cache: evaluation commands then consult and
@@ -120,6 +135,61 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--csv", type=str, default=None, help="write merged records to this CSV file")
     merge.add_argument(
         "--json", type=str, default=None, help="write merged records to this JSON file ('-' = stdout)"
+    )
+
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="partition the grid, dispatch shards to workers, and merge the stream",
+    )
+    dispatch.add_argument(
+        "--shards", type=int, default=4, help="contiguous slices per seed (default 4)"
+    )
+    dispatch.add_argument(
+        "--backend",
+        dest="dispatch_backend",
+        choices=["inline", "process", "file-queue"],
+        default="inline",
+        help="worker backend shards are dispatched to (default inline)",
+    )
+    dispatch.add_argument(
+        "--result-store",
+        default=None,
+        metavar="PATH",
+        help="persist completed shard payloads at PATH so a killed run resumes; "
+        "pass 'auto' for the default location ($REPRO_RESULT_STORE or "
+        "~/.cache/repro-hpc-codex/results)",
+    )
+    dispatch.add_argument(
+        "--queue", default=None, metavar="DIR", help="queue directory (file-queue backend)"
+    )
+    dispatch.add_argument(
+        "--workers", type=int, default=None, help="subprocess pool width (process backend)"
+    )
+    dispatch.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after executing N shards (deterministic crash simulation; "
+        "the run exits with status 3 and resumes from --result-store)",
+    )
+    dispatch.add_argument(
+        "--languages", nargs="+", default=None, help="restrict the grid to these languages"
+    )
+    dispatch.add_argument(
+        "--kernels", nargs="+", default=None, help="restrict the grid to these kernels"
+    )
+    dispatch.add_argument("--csv", type=str, default=None, help="write merged records to this CSV file")
+    dispatch.add_argument(
+        "--json", type=str, default=None, help="write merged records to this JSON file"
+    )
+
+    worker = sub.add_parser(
+        "dispatch-worker", help="drain shard tasks from a file-queue directory"
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR", help="queue directory to drain")
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N", help="evaluate at most N tasks"
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the persistent verdict store")
@@ -248,6 +318,59 @@ def _cmd_merge(args: argparse.Namespace, session) -> int:
     return 0
 
 
+def _cmd_dispatch(args: argparse.Namespace, session) -> int:
+    from repro.api.spec import ExperimentSpec
+    from repro.dispatch.store import ResultStore
+
+    spec = ExperimentSpec(
+        seeds=(args.seed,),
+        languages=None if args.languages is None else tuple(args.languages),
+        kernels=None if args.kernels is None else tuple(args.kernels),
+    )
+    store = ResultStore.coerce(True if args.result_store == "auto" else args.result_store)
+    report = session.dispatch(
+        spec,
+        shards=args.shards,
+        backend=args.dispatch_backend,
+        result_store=store,
+        queue=args.queue,
+        max_workers=args.workers,
+        max_shards=args.max_shards,
+    )
+    print(report.summary())
+    if store is not None:
+        # Stderr, like the verdict-store summary: piped output stays clean.
+        print(
+            f"result store: {store.path} shard-hits={len(report.skipped)} "
+            f"shard-writes={store.writes}",
+            file=sys.stderr,
+        )
+    if not report.complete:
+        print(
+            f"{report.shards_total - len(report.outcomes)} shard(s) still pending; "
+            "re-run with the same --result-store to resume",
+            file=sys.stderr,
+        )
+        return 3
+    results = report.result()
+    print(f"merged {len(results)} cells (seed {args.seed}, mean score {results.mean_score():.3f})")
+    if args.json:
+        print(f"wrote {save_records_json(results, args.json)}")
+    if args.csv:
+        print(f"wrote {save_records_csv(results, args.csv)}")
+    return 0
+
+
+def _cmd_dispatch_worker(args: argparse.Namespace, session) -> int:
+    from repro.dispatch.queue import drain_queue
+
+    executed = drain_queue(
+        args.queue, max_tasks=args.max_tasks, verdict_store=session.verdict_store
+    )
+    print(f"dispatch-worker: evaluated {executed} task(s) from {args.queue}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace, session) -> int:
     from repro.analysis.store import VerdictStore, default_store_path
 
@@ -283,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         "prompt": _cmd_prompt,
         "shard": _cmd_shard,
         "merge": _cmd_merge,
+        "dispatch": _cmd_dispatch,
+        "dispatch-worker": _cmd_dispatch_worker,
         "cache": _cmd_cache,
     }
     from repro.api.session import Session

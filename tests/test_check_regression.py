@@ -1,0 +1,116 @@
+"""Tests for the CI perf-regression gate (``benchmarks/check_regression.py``).
+
+The gate must accept the committed baseline vs itself, tolerate
+cross-machine jitter, and demonstrably fail on doctored regression records
+— a gate that can't fire is worse than no gate.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from check_regression import (  # noqa: E402  (path set up above)
+    DEFAULT_SPEEDUP_TOLERANCE,
+    WALLCLOCK_SLACK_SECONDS,
+    check_regressions,
+    main,
+)
+
+
+@pytest.fixture()
+def baseline() -> dict:
+    return {
+        "lockstep_speedup": 10.0,
+        "warm_store_speedup": 4.0,
+        "dispatch_resume_speedup": 40.0,
+        "experiments": {
+            "full_grid[serial]": 0.4,
+            "full_grid[store-warm]": 0.01,
+            "table4": 0.2,  # not gated: not a full_grid key
+        },
+    }
+
+
+class TestCheckRegressions:
+    def test_identical_records_pass(self, baseline):
+        assert check_regressions(baseline, copy.deepcopy(baseline)) == []
+
+    def test_jitter_within_tolerance_passes(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["lockstep_speedup"] = baseline["lockstep_speedup"] * (
+            1.0 - DEFAULT_SPEEDUP_TOLERANCE
+        ) + 0.01
+        current["experiments"]["full_grid[serial]"] = 0.9  # 2.25x, under 2.5x
+        assert check_regressions(baseline, current) == []
+
+    def test_speedup_collapse_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["lockstep_speedup"] = 1.2
+        failures = check_regressions(baseline, current)
+        assert len(failures) == 1 and "lockstep_speedup" in failures[0]
+
+    def test_wallclock_blowup_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["experiments"]["full_grid[serial]"] = 2.0
+        failures = check_regressions(baseline, current)
+        assert len(failures) == 1 and "full_grid[serial]" in failures[0]
+
+    def test_tiny_wallclocks_get_absolute_slack(self, baseline):
+        # 10ms -> 80ms is 8x the ratio ceiling but pure IO jitter; the
+        # absolute slack keeps sub-100ms paths from failing builds.
+        current = copy.deepcopy(baseline)
+        current["experiments"]["full_grid[store-warm]"] = 0.08
+        assert check_regressions(baseline, current) == []
+        current["experiments"]["full_grid[store-warm]"] = (
+            0.01 * 2.5 + WALLCLOCK_SLACK_SECONDS + 0.01
+        )
+        assert check_regressions(baseline, current) != []
+
+    def test_missing_metric_fails(self, baseline):
+        for key in ("warm_store_speedup",):
+            current = copy.deepcopy(baseline)
+            del current[key]
+            assert any(key in failure for failure in check_regressions(baseline, current))
+        current = copy.deepcopy(baseline)
+        del current["experiments"]["full_grid[serial]"]
+        assert any("full_grid[serial]" in f for f in check_regressions(baseline, current))
+
+    def test_non_gated_keys_are_ignored(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["experiments"]["table4"] = 99.0  # slower, but not a gated key
+        assert check_regressions(baseline, current) == []
+
+    def test_metric_absent_from_baseline_is_not_required(self, baseline):
+        del baseline["dispatch_resume_speedup"]
+        current = copy.deepcopy(baseline)
+        assert check_regressions(baseline, current) == []
+
+
+class TestMain:
+    def _write(self, path: Path, record: dict) -> Path:
+        path.write_text(json.dumps(record))
+        return path
+
+    def test_exit_codes(self, tmp_path, baseline, capsys):
+        good = self._write(tmp_path / "good.json", baseline)
+        assert main(["--baseline", str(good), "--current", str(good)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+        doctored = copy.deepcopy(baseline)
+        doctored["warm_store_speedup"] = 0.5
+        bad = self._write(tmp_path / "bad.json", doctored)
+        assert main(["--baseline", str(good), "--current", str(bad)]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+        assert main(["--baseline", str(good), "--current", str(tmp_path / "absent.json")]) == 2
+
+    def test_committed_baseline_passes_against_committed_record(self):
+        # The repo must never ship a BENCH_perf.json that its own committed
+        # baseline rejects.
+        assert main([]) == 0

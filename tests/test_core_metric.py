@@ -15,7 +15,6 @@ from repro.core.aggregate import (
     postfix_effect,
 )
 from repro.core.compare import compare_to_paper, spearman_rank_correlation
-from repro.core.evaluator import PromptEvaluator
 from repro.core.paper_reference import PAPER_TABLES, paper_cells, paper_score, paper_table
 from repro.core.proficiency import ProficiencyLevel, classify_verdicts, score_label
 from repro.core.report import format_bar_chart, format_score, format_table, side_by_side

@@ -1,0 +1,405 @@
+"""Tests for the resumable distributed shard driver (:mod:`repro.dispatch`).
+
+The tentpole guarantees:
+
+* every dispatch backend (``inline``, ``process``, ``file-queue``) merges to
+  records byte-identical to the unsharded run;
+* a driver re-run against the same :class:`ResultStore` re-executes **zero**
+  completed shards (killed runs resume instead of recomputing);
+* streamed merges and callbacks follow the
+  :class:`~repro.core.runner.EvaluationRunner` submission-order contract;
+* file-queue workers validate tasks (config fingerprint, grid digest) and
+  results before anything enters a merge.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.analyzer import clear_verdict_memo
+from repro.api import ExperimentSpec, Session
+from repro.codex.config import DEFAULT_SEED
+from repro.dispatch import FileQueue, ResultStore, ShardDriver, drain_queue
+
+
+@pytest.fixture(scope="module")
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(seeds=(DEFAULT_SEED,), languages=("julia",))
+
+
+@pytest.fixture(scope="module")
+def expected_records(spec):
+    with Session(seed=DEFAULT_SEED) as session:
+        return session.run(spec).to_records()
+
+
+# ---------------------------------------------------------------------------
+# Inline backend: identity, resume, ordering
+# ---------------------------------------------------------------------------
+
+class TestInlineDispatch:
+    def test_cold_dispatch_is_byte_identical(self, spec, expected_records, tmp_path):
+        report = ShardDriver(spec, shards=4, result_store=tmp_path / "store").run()
+        assert report.complete
+        assert len(report.executed) == 4 and not report.skipped
+        assert report.result().to_records() == expected_records
+
+    def test_warm_rerun_executes_zero_shards(self, spec, expected_records, tmp_path):
+        store = tmp_path / "store"
+        ShardDriver(spec, shards=4, result_store=store).run()
+        warm = ShardDriver(spec, shards=4, result_store=ResultStore(store)).run()
+        assert warm.complete
+        assert len(warm.skipped) == 4 and not warm.executed
+        assert warm.result().to_records() == expected_records
+        assert warm.sandbox_executions == 0
+
+    def test_killed_run_resumes_without_reexecution(self, spec, expected_records, tmp_path):
+        store = tmp_path / "store"
+        partial = ShardDriver(spec, shards=4, result_store=store, max_shards=2).run()
+        assert not partial.complete
+        assert len(partial.executed) == 2
+        with pytest.raises(ValueError, match="incomplete"):
+            partial.result()
+        # The partial merge holds exactly the completed prefix, canonically.
+        partial_records = partial.results[DEFAULT_SEED].to_records()
+        assert partial_records == expected_records[: len(partial_records)]
+        resumed = ShardDriver(spec, shards=4, result_store=ResultStore(store)).run()
+        assert resumed.complete
+        assert len(resumed.skipped) == 2 and len(resumed.executed) == 2
+        assert resumed.result().to_records() == expected_records
+
+    def test_budget_exhaustion_still_reports_later_store_hits(
+        self, spec, expected_records, tmp_path
+    ):
+        # Pre-populate only the LAST shard, then run with a budget of 1:
+        # the driver executes shard 0, skips shards 1-2 (budget spent), but
+        # must still surface shard 3's store hit in the report and partial
+        # merge — it is already done, whatever the budget says.
+        store = ResultStore(tmp_path / "store")
+        shards = spec.partition(4)
+        with Session(seed=DEFAULT_SEED) as session:
+            store.put(shards[3].entry(), session.run(shards[3]))
+        report = ShardDriver(
+            spec, shards=4, result_store=ResultStore(tmp_path / "store"), max_shards=1
+        ).run()
+        assert not report.complete
+        assert len(report.executed) == 1 and len(report.skipped) == 1
+        assert [o.entry.start for o in report.outcomes] == [
+            shards[0].start, shards[3].start
+        ]
+        partial = report.results[DEFAULT_SEED].to_records()
+        expected = (
+            expected_records[shards[0].start : shards[0].stop]
+            + expected_records[shards[3].start : shards[3].stop]
+        )
+        assert partial == expected
+
+    def test_store_writes_happen_before_callbacks(self, spec, tmp_path):
+        # The crash window must never lose a finished shard: by the time
+        # on_shard announces it, the payload is already on disk.
+        store = ResultStore(tmp_path / "store")
+        seen_on_disk: list[bool] = []
+        driver = ShardDriver(
+            spec,
+            shards=2,
+            result_store=store,
+            on_shard=lambda o: seen_on_disk.append(store.get(o.entry) is not None),
+        )
+        driver.run()
+        assert seen_on_disk == [True, True]
+
+    def test_dispatch_without_a_store_still_works(self, spec, expected_records):
+        report = ShardDriver(spec, shards=3).run()
+        assert report.complete
+        assert report.result().to_records() == expected_records
+
+    def test_callbacks_fire_in_submission_order(self, spec, tmp_path):
+        cells: list = []
+        shards_seen: list[tuple[int, int]] = []
+        ShardDriver(
+            spec,
+            shards=4,
+            progress=lambda result: cells.append(result.cell),
+            on_shard=lambda o: shards_seen.append((o.entry.start, o.entry.stop)),
+        ).run()
+        assert shards_seen == sorted(shards_seen)
+        assert cells == spec.cells()
+        # A warm run streams the same cells in the same order from the store.
+        store = tmp_path / "store"
+        ShardDriver(spec, shards=4, result_store=store).run()
+        warm_cells: list = []
+        ShardDriver(
+            spec, shards=4, result_store=store,
+            progress=lambda result: warm_cells.append(result.cell),
+        ).run()
+        assert warm_cells == spec.cells()
+
+    def test_invalid_arguments_rejected(self, spec):
+        with pytest.raises(ValueError):
+            ShardDriver(spec, backend="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ShardDriver(spec, shards=0)
+        with pytest.raises(ValueError):
+            ShardDriver(spec, backend="file-queue")  # queue directory missing
+        with pytest.raises(ValueError):
+            ShardDriver(spec, max_shards=-1)
+
+
+# ---------------------------------------------------------------------------
+# Process backend
+# ---------------------------------------------------------------------------
+
+class TestProcessDispatch:
+    def test_process_dispatch_is_byte_identical(self, spec, expected_records):
+        report = ShardDriver(spec, shards=4, backend="process", max_workers=2).run()
+        assert report.complete
+        assert report.result().to_records() == expected_records
+
+    def test_process_resume_skips_completed_shards(self, spec, expected_records, tmp_path):
+        store = tmp_path / "store"
+        ShardDriver(spec, shards=4, result_store=store, max_shards=3).run()
+        resumed = ShardDriver(
+            spec, shards=4, backend="process", max_workers=2, result_store=ResultStore(store)
+        ).run()
+        assert resumed.complete
+        assert len(resumed.skipped) == 3 and len(resumed.executed) == 1
+        assert resumed.result().to_records() == expected_records
+
+    def test_process_counters_cross_the_boundary(self):
+        # Python cells execute in the sandbox inside pool workers; the
+        # driver's report must still see those executions.
+        spec = ExperimentSpec(
+            seeds=(DEFAULT_SEED,), languages=("python",), kernels=("axpy",)
+        )
+        clear_verdict_memo()
+        report = ShardDriver(spec, shards=2, backend="process", max_workers=2).run()
+        assert report.complete
+        assert report.sandbox_executions > 0
+
+
+# ---------------------------------------------------------------------------
+# File-queue backend
+# ---------------------------------------------------------------------------
+
+class TestFileQueueDispatch:
+    def test_driver_drains_its_own_queue(self, spec, expected_records, tmp_path):
+        report = ShardDriver(
+            spec, shards=3, backend="file-queue", queue=tmp_path / "q"
+        ).run()
+        assert report.complete
+        assert len(report.executed) == 3
+        assert report.result().to_records() == expected_records
+        # Every task claimed and completed; nothing pending.
+        queue = FileQueue(tmp_path / "q")
+        assert queue.pending() == []
+        assert len(list(queue.results_dir.glob("*.json"))) == 3
+
+    def test_queue_progress_fires_once_per_cell(self, spec, tmp_path):
+        # Locally-claimed queue shards stream progress live through their
+        # runner; the completion hook must not deliver the cells again.
+        cells: list = []
+        ShardDriver(
+            spec, shards=2, backend="file-queue", queue=tmp_path / "q",
+            progress=lambda result: cells.append(result.cell),
+        ).run()
+        assert cells == spec.cells()
+
+    def test_predrained_queue_is_consumed_without_execution(
+        self, spec, expected_records, tmp_path
+    ):
+        queue = FileQueue(tmp_path / "q")
+        for shard in spec.partition(3):
+            assert queue.publish(shard)
+            assert not queue.publish(shard)  # idempotent
+        assert drain_queue(queue) == 3  # "the remote host"
+        report = ShardDriver(
+            spec, shards=3, backend="file-queue", queue=queue, max_shards=0,
+            result_store=tmp_path / "store",
+        ).run()
+        assert report.complete
+        assert len(report.remote) == 3 and not report.executed
+        assert report.result().to_records() == expected_records
+        # Remote payloads were persisted: a later run resumes from the store.
+        warm = ShardDriver(
+            spec, shards=3, backend="file-queue", queue=tmp_path / "q2",
+            result_store=tmp_path / "store",
+        ).run()
+        assert len(warm.skipped) == 3
+
+    def test_corrupt_result_payload_is_reexecuted(self, spec, expected_records, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        shards = spec.partition(2)
+        for shard in shards:
+            queue.publish(shard)
+        drain_queue(queue)
+        # Garble one result and swap another shard's payload in whole — both
+        # must be detected and re-evaluated, never merged.
+        names = [queue.task_name(shard) for shard in shards]
+        (queue.results_dir / f"{names[0]}.json").write_text("truncated {")
+        payloads = [queue.result(name) for name in names]
+        assert payloads[0] is None  # corrupt file dropped on read
+        doctored = {
+            **payloads[1],
+            "entry": {
+                **payloads[1]["entry"],
+                "index": 0,
+                "cell_slice": [0, len(spec.cells()) // 2],
+            },
+        }
+        queue.complete(names[1], doctored)
+        report = ShardDriver(spec, shards=2, backend="file-queue", queue=queue).run()
+        assert report.complete
+        assert report.result().to_records() == expected_records
+
+    def test_stale_claims_are_requeued(self, spec, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        shards = spec.partition(2)
+        for shard in shards:
+            queue.publish(shard)
+        # A "crashed worker": claims a task, never completes it.
+        assert queue.claim_next() is not None
+        assert len(queue.pending()) == 1
+        assert queue.requeue_stale(0.0) == 1
+        assert len(queue.pending()) == 2
+
+    def test_worker_refuses_foreign_fingerprint_tasks(self, spec, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        shard = spec.partition(2)[0]
+        queue.publish(shard)
+        name = queue.task_name(shard)
+        task_path = queue.tasks_dir / f"{name}.json"
+        descriptor = json.loads(task_path.read_text())
+        descriptor["spec"]["fingerprint"] = "f" * 16
+        task_path.write_text(json.dumps(descriptor))
+        with pytest.warns(UserWarning, match="fingerprint"):
+            assert drain_queue(queue) == 0
+        # The task was released, not destroyed: a worker with the right
+        # config could still take it.
+        assert queue.pending() == [name]
+
+    def test_worker_refuses_foreign_grid_tasks(self, spec, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        shard = spec.partition(2)[0]
+        queue.publish(shard)
+        task_path = queue.tasks_dir / f"{queue.task_name(shard)}.json"
+        descriptor = json.loads(task_path.read_text())
+        descriptor["grid"] = "g" * 16
+        task_path.write_text(json.dumps(descriptor))
+        with pytest.warns(UserWarning, match="grid"):
+            assert drain_queue(queue) == 0
+
+    def test_poison_task_does_not_starve_valid_tasks(self, spec, tmp_path):
+        # One foreign task (first in name order) must not wedge the worker:
+        # it is refused once and the valid tasks behind it still drain.
+        queue = FileQueue(tmp_path / "q")
+        for shard in spec.partition(2):
+            queue.publish(shard)
+        poison = queue.pending()[0]
+        task_path = queue.tasks_dir / f"{poison}.json"
+        descriptor = json.loads(task_path.read_text())
+        descriptor["spec"]["fingerprint"] = "f" * 16
+        task_path.write_text(json.dumps(descriptor))
+        with pytest.warns(UserWarning, match="fingerprint"):
+            assert drain_queue(queue) == 1  # the valid task still ran
+        assert queue.pending() == [poison]  # poison released, not consumed
+
+    def test_drain_respects_max_tasks(self, spec, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        for shard in spec.partition(3):
+            queue.publish(shard)
+        assert drain_queue(queue, max_tasks=1) == 1
+        assert len(queue.pending()) == 2
+
+
+# ---------------------------------------------------------------------------
+# Session.dispatch
+# ---------------------------------------------------------------------------
+
+class TestSessionDispatch:
+    def test_session_dispatch_matches_session_run(self, spec, expected_records, tmp_path):
+        with Session(seed=DEFAULT_SEED) as session:
+            report = session.dispatch(spec, shards=3, result_store=tmp_path / "store")
+            assert report.complete
+            assert report.result().to_records() == expected_records
+            # Inline shards ran on the session's pooled runners, so the
+            # session-level counters kept aggregating.
+            assert session.sandbox_executions == report.sandbox_executions
+
+    def test_session_dispatch_defaults_to_the_session_grid(self):
+        with Session(seed=DEFAULT_SEED) as session:
+            report = session.dispatch(shards=4)
+            assert report.complete
+            assert report.spec.seeds == (DEFAULT_SEED,)
+            assert len(report.result()) == len(report.spec.cells())
+
+    def test_session_progress_streams_through_dispatch(self, spec, tmp_path):
+        cells: list = []
+        with Session(seed=DEFAULT_SEED, progress=lambda r: cells.append(r.cell)) as session:
+            session.dispatch(spec, shards=2, result_store=tmp_path / "store")
+        assert cells == spec.cells()
+
+    def test_session_verdict_store_reaches_dispatch_workers(self, tmp_path):
+        python_spec = ExperimentSpec(
+            seeds=(DEFAULT_SEED,), languages=("python",), kernels=("axpy",)
+        )
+        clear_verdict_memo()
+        try:
+            with Session(seed=DEFAULT_SEED, verdict_store=tmp_path / "verdicts") as session:
+                cold = session.dispatch(python_spec, shards=2)
+                assert cold.complete and session.sandbox_executions > 0
+            clear_verdict_memo()
+            with Session(seed=DEFAULT_SEED, verdict_store=tmp_path / "verdicts") as session:
+                warm = session.dispatch(python_spec, shards=2)
+                assert warm.complete
+                assert session.sandbox_executions == 0
+                assert session.store_hits > 0
+        finally:
+            clear_verdict_memo()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCliDispatch:
+    def test_dispatch_json_is_byte_identical_to_run_json(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        assert main(["run", "--json", str(tmp_path / "full.json")]) == 0
+        assert main([
+            "dispatch", "--shards", "3",
+            "--result-store", str(tmp_path / "store"),
+            "--json", str(tmp_path / "dispatched.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "dispatched.json").read_bytes() == (tmp_path / "full.json").read_bytes()
+
+    def test_cli_kill_resume_cycle(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        store = str(tmp_path / "store")
+        args = ["dispatch", "--shards", "4", "--languages", "julia", "--result-store", store]
+        assert main(args + ["--max-shards", "2"]) == 3  # "killed" mid-run
+        captured = capsys.readouterr()
+        assert "PARTIAL 2/4" in captured.out
+        assert "shard-writes=2" in captured.err
+        assert main(args + ["--json", str(tmp_path / "out.json")]) == 0
+        captured = capsys.readouterr()
+        assert "executed=2 skipped=2" in captured.out
+        assert "shard-hits=2" in captured.err
+        assert (tmp_path / "out.json").exists()
+
+    def test_cli_dispatch_worker_drains_queue(self, spec, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        queue = FileQueue(tmp_path / "q")
+        for shard in spec.partition(2):
+            queue.publish(shard)
+        assert main(["dispatch-worker", "--queue", str(tmp_path / "q")]) == 0
+        assert "evaluated 2 task(s)" in capsys.readouterr().out
+        report = ShardDriver(
+            spec, shards=2, backend="file-queue", queue=queue, max_shards=0
+        ).run()
+        assert report.complete and len(report.remote) == 2

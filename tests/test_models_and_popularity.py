@@ -7,7 +7,7 @@ import pytest
 from repro.kernels.registry import KERNEL_NAMES
 from repro.models.grid import ExperimentCell, cells_for_language, experiment_grid, table1_rows
 from repro.models.keywords import CUDA_COMMUNITY_KEYWORDS, has_postfix_variant, postfix_keyword
-from repro.models.languages import LANGUAGES, get_language, language_names
+from repro.models.languages import get_language, language_names
 from repro.models.programming_models import (
     PROGRAMMING_MODELS,
     ExecutionTarget,

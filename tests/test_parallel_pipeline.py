@@ -19,7 +19,12 @@ from repro.analysis.analyzer import SuggestionAnalyzer, clear_verdict_memo
 from repro.codex.config import CodexConfig, DEFAULT_SEED
 from repro.codex.engine import cell_seed_sequence
 from repro.codex.sampler import SuggestionSampler
-from repro.core.runner import EvaluationRunner, ResultSet
+from repro.core.runner import (
+    MIN_CHUNK_CELLS,
+    EvaluationRunner,
+    ResultSet,
+    default_chunk_size,
+)
 from repro.corpus.store import default_corpus
 from repro.harness import experiments
 from repro.models.grid import experiment_grid
@@ -115,6 +120,71 @@ class TestBackendDeterminism:
     def test_process_backend_rejects_custom_evaluator(self, evaluator):
         with pytest.raises(ValueError):
             EvaluationRunner(backend="process", evaluator=evaluator)
+
+
+# ---------------------------------------------------------------------------
+# Parallel dispatch policy: the process backend must at least break even
+# ---------------------------------------------------------------------------
+
+class TestDispatchPolicy:
+    def test_default_chunk_size_targets_two_chunks_per_worker(self):
+        # ~2 chunks per worker: enough straggler rebalancing without paying
+        # per-chunk IPC comparable to the work (the old 4-chunks-per-worker
+        # policy put the stock 204-cell grid at 7-cell chunks, where the
+        # process backend lost to serial outright).
+        assert default_chunk_size(204, 8) == 13
+        assert default_chunk_size(204, 1) == 102
+        assert default_chunk_size(1000, 4) == 125
+
+    def test_default_chunk_size_never_cuts_confetti(self):
+        # Below MIN_CHUNK_CELLS the dispatch overhead dominates; small grids
+        # prefer idle workers over finer chunks.
+        assert default_chunk_size(48, 4) == MIN_CHUNK_CELLS
+        assert default_chunk_size(3, 8) == MIN_CHUNK_CELLS
+        assert all(
+            default_chunk_size(n, w) >= MIN_CHUNK_CELLS
+            for n in (1, 10, 100, 1000)
+            for w in (1, 2, 8)
+        )
+
+    def test_single_worker_process_backend_runs_in_process(self):
+        # A one-worker subprocess pool is serial evaluation plus fork and
+        # IPC overhead — strictly slower than the calling thread.  On hosts
+        # where the pool would resolve to a single worker the process
+        # backend therefore evaluates in-process (byte-identical by the
+        # determinism contract), which is what guarantees it breaks even
+        # with serial on the stock grid instead of losing ~20% to overhead.
+        runner = EvaluationRunner(
+            config=CodexConfig(), seed=DEFAULT_SEED, backend="process", max_workers=1
+        )
+        results = runner.run_language("julia")
+        assert runner._executor is None  # no pool was ever spawned
+        serial = EvaluationRunner(config=CodexConfig(), seed=DEFAULT_SEED).run_language("julia")
+        assert results.to_records() == serial.to_records()
+
+    def test_single_worker_process_backend_still_counts_work(self, tmp_path):
+        # The in-process shortcut must keep the counter contract: sandbox
+        # executions and verdict-store hits are attributed to the runner
+        # exactly as the pool path attributes worker deltas.
+        cells = experiment_grid(languages=("python",), kernels=("axpy",))
+        clear_verdict_memo()
+        try:
+            cold = EvaluationRunner(
+                config=CodexConfig(), seed=DEFAULT_SEED, backend="process",
+                max_workers=1, verdict_store=tmp_path / "store",
+            )
+            cold_records = cold.run_cells(cells).to_records()
+            assert cold.sandbox_executions > 0
+            clear_verdict_memo()
+            warm = EvaluationRunner(
+                config=CodexConfig(), seed=DEFAULT_SEED, backend="process",
+                max_workers=1, verdict_store=tmp_path / "store",
+            )
+            assert warm.run_cells(cells).to_records() == cold_records
+            assert warm.sandbox_executions == 0
+            assert warm.store_hits > 0
+        finally:
+            clear_verdict_memo()
 
 
 # ---------------------------------------------------------------------------
