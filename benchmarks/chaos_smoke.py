@@ -1,0 +1,168 @@
+"""Chaos smoke: dispatch under injected faults must merge byte-identically
+or quarantine explicitly — never produce wrong records, never livelock.
+
+Four end-to-end scenarios over a file-queue dispatch of the julia grid
+(CI runs this as the ``chaos-smoke`` job; locally::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py
+
+):
+
+1. **Transient crashes** — every evaluation attempt fails twice before
+   succeeding; the driver's retry loop must still converge to a merge
+   byte-identical to the unsharded run.
+2. **Corrupt result write** — a worker publishes deliberately torn bytes
+   for one shard; the driver must detect it on read, re-offer and
+   re-execute the shard, and still merge byte-identically.
+3. **Hard worker death** — a real ``dispatch-worker`` subprocess dies with
+   ``os._exit`` mid-shard (claim held, no cleanup); the driver must reclaim
+   the expired lease and finish the dispatch byte-identically.
+4. **Poison shard** — one shard fails every attempt; it must land in the
+   queue's ``failed/`` dead-letter directory while the surviving shards
+   merge byte-identically to the matching subset of the unsharded run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import ExperimentSpec, Session  # noqa: E402
+from repro.codex.config import DEFAULT_SEED  # noqa: E402
+from repro.dispatch import FileQueue, ShardDriver, drain_queue, faults  # noqa: E402
+
+SHARDS = 4
+
+
+def scenario_transient_crashes(spec, expected, workdir: Path) -> None:
+    faults.install([{"point": "worker.evaluate", "action": "crash", "times": 2}])
+    try:
+        report = ShardDriver(
+            spec,
+            shards=SHARDS,
+            backend="file-queue",
+            queue=workdir / "q-transient",
+            poll_interval=0.01,
+        ).run()
+    finally:
+        faults.reset()
+    assert report.complete, report.summary()
+    assert report.result().to_records() == expected, "transient crashes changed the records"
+    print("chaos-smoke: transient crashes retried to a byte-identical merge")
+
+
+def scenario_corrupt_result(spec, expected, workdir: Path) -> None:
+    queue = FileQueue(workdir / "q-corrupt")
+    plan = spec.partition(SHARDS)
+    for shard in plan:
+        queue.publish(shard)
+    victim = queue.task_name(plan[1])
+    faults.install(
+        [{"point": "worker.complete", "action": "corrupt", "match": victim, "times": 1}]
+    )
+    try:
+        drain_queue(queue)  # the worker "completes" all shards, one torn
+    finally:
+        faults.reset()
+    raw = (queue.results_dir / f"{victim}.json").read_text()
+    try:
+        json.loads(raw)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("the corrupt fault did not tear the result bytes")
+    report = ShardDriver(
+        spec, shards=SHARDS, backend="file-queue", queue=queue, poll_interval=0.01
+    ).run()
+    assert report.complete, report.summary()
+    assert report.result().to_records() == expected, "corrupt-result recovery changed the records"
+    print("chaos-smoke: torn result dropped, shard re-executed, merge byte-identical")
+
+
+def scenario_worker_death(spec, expected, workdir: Path) -> None:
+    queue = FileQueue(workdir / "q-death", heartbeat_interval=0.2, lease_beats=2)
+    for shard in spec.partition(SHARDS):
+        queue.publish(shard)
+    # A real worker process that dies hard (os._exit, claim held, zero
+    # cleanup) on its first evaluation.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env[faults.FAULTS_ENV] = json.dumps(
+        [{"point": "worker.evaluate", "action": "die"}]
+    )
+    worker = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness.cli",
+            "dispatch-worker",
+            "--queue",
+            str(queue.root),
+            "--max-tasks",
+            "1",
+        ],
+        env=env,
+        capture_output=True,
+        timeout=120,
+    )
+    assert worker.returncode == 17, f"worker should have died hard, got {worker.returncode}"
+    claims = list(queue.claims_dir.glob("*.json"))
+    assert len(claims) == 1, "the dead worker should have died holding its claim"
+    report = ShardDriver(
+        spec, shards=SHARDS, backend="file-queue", queue=queue, poll_interval=0.01
+    ).run()
+    assert report.complete, report.summary()
+    assert report.result().to_records() == expected, "lease reclaim changed the records"
+    print("chaos-smoke: dead worker's lease expired, shard reclaimed, merge byte-identical")
+
+
+def scenario_poison_shard(spec, expected, workdir: Path) -> None:
+    queue = FileQueue(workdir / "q-poison", max_attempts=2)
+    plan = spec.partition(SHARDS)
+    poison = queue.task_name(plan[0])
+    faults.install([{"point": "worker.evaluate", "action": "crash", "match": "-00000-"}])
+    try:
+        report = ShardDriver(
+            spec, shards=SHARDS, backend="file-queue", queue=queue, poll_interval=0.01
+        ).run()
+    finally:
+        faults.reset()
+    assert not report.complete and report.pending == 0, report.summary()
+    assert len(report.quarantined) == 1, "exactly the poison shard should be quarantined"
+    assert report.quarantined[0].entry.start == plan[0].start
+    assert queue.failed() == [poison], f"dead letter missing: {queue.failed()}"
+    letter = queue.quarantined(poison)
+    assert letter["attempts"] == 2
+    assert all(f["error"] == "InjectedCrash" for f in letter["failures"])
+    survivors = report.results[DEFAULT_SEED].to_records()
+    subset = [
+        record
+        for shard in plan[1:]
+        for record in expected[shard.start : shard.stop]
+    ]
+    assert survivors == subset, "surviving shards' merge is not byte-identical to the subset"
+    print("chaos-smoke: poison shard dead-lettered, survivors byte-identical to the subset")
+
+
+def main() -> int:
+    spec = ExperimentSpec(seeds=(DEFAULT_SEED,), languages=("julia",))
+    with Session(seed=DEFAULT_SEED) as session:
+        expected = session.run(spec).to_records()
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        workdir = Path(tmp)
+        scenario_transient_crashes(spec, expected, workdir)
+        scenario_corrupt_result(spec, expected, workdir)
+        scenario_worker_death(spec, expected, workdir)
+        scenario_poison_shard(spec, expected, workdir)
+    print("chaos-smoke: all scenarios converged to byte-identical merge or explicit quarantine")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,11 +21,11 @@ with the shard-level :class:`~repro.dispatch.store.ResultStore`:
 * **Versioned schema.**  Entries carry their schema version both in the
   digest and in the payload; bumping the version orphans old entries, which
   degrade to recompute — never to a wrong value.
-* **Atomic, race-safe writes.**  Entries are written to a unique temporary
-  file and published with ``os.replace``; two writers racing on one key both
-  write the same deterministic value and the last rename wins.  Corrupt or
-  truncated entries (killed writer, foreign bytes) are detected on read,
-  dropped, and recomputed.
+* **Atomic, durable, race-safe writes.**  Entries are published through the
+  shared fsync-before-replace writer (:func:`repro.atomicio.write_atomic_json`);
+  two writers racing on one key both write the same deterministic value and
+  the last rename wins.  Corrupt or truncated entries (killed writer,
+  foreign bytes) are detected on read, dropped, and recomputed.
 * **Fail-soft.**  Store I/O errors never propagate into analysis; the worst
   case is always "compute it again".
 
@@ -52,11 +52,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import threading
 from pathlib import Path
 
 from repro.analysis.verdict import ANALYSIS_VERSION, SuggestionVerdict
+from repro.atomicio import write_atomic_json
 
 __all__ = [
     "STORE_SCHEMA",
@@ -176,9 +176,10 @@ class ContentStore:
     def _store_entry(self, digest: str, payload: dict) -> None:
         """Persist one entry (idempotent; failures are swallowed).
 
-        The entry is written to a unique temporary file in the final
-        directory and published atomically with ``os.replace``, so readers
-        never observe partial writes and racing writers cannot interleave.
+        Publication goes through the shared fsync-before-replace writer
+        (:func:`repro.atomicio.write_atomic_json`): readers never observe
+        partial writes, racing writers cannot interleave, and a power loss
+        cannot leave an empty-but-renamed entry behind.
         """
         with self._lock:
             if digest in self._known:
@@ -188,28 +189,12 @@ class ContentStore:
             with self._lock:
                 self._known.add(digest)
             return
-        handle = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                "w",
-                dir=path.parent,
-                prefix=f".{digest[:8]}.",
-                suffix=".tmp",
-                delete=False,
-                encoding="utf-8",
-            )
-            with handle:
-                handle.write(json.dumps(payload, sort_keys=True))
-            os.replace(handle.name, path)
+            write_atomic_json(path, payload)
         except OSError:
             # Full disk / permissions / store directory gone: the caller
             # must never fail because the cache could not be written.
-            if handle is not None:
-                try:
-                    os.unlink(handle.name)
-                except OSError:
-                    pass
             return
         with self._lock:
             self._known.add(digest)

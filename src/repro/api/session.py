@@ -309,6 +309,9 @@ class Session:
         queue=None,
         max_shards: int | None = None,
         max_workers: int | None = None,
+        max_attempts: int | None = None,
+        shard_timeout: float | None = None,
+        heartbeat_interval: float | None = None,
         on_shard=None,
     ):
         """Distribute a spec across shard workers, resumably.
@@ -323,6 +326,14 @@ class Session:
         order.  Inline shards run on this session's pooled runners (and
         its verdict store), so ``sandbox_executions`` / ``store_hits``
         keep aggregating here.
+
+        Failures are contained, not fatal: a shard whose evaluation raises
+        is retried up to ``max_attempts`` times and then *quarantined*
+        (listed in ``report.quarantined``, never merged).
+        ``shard_timeout`` bounds each ``process``-backend shard's wall
+        clock (a hung worker is killed and the shard retried), and
+        ``heartbeat_interval`` tunes the file queue's claim-lease renewal
+        cadence.
 
         Returns a :class:`repro.dispatch.DispatchReport`; when it is
         ``complete``, ``report.result()`` is byte-identical to the
@@ -344,6 +355,9 @@ class Session:
             progress=self.progress,
             on_shard=on_shard,
             max_shards=max_shards,
+            max_attempts=max_attempts,
+            shard_timeout=shard_timeout,
+            heartbeat_interval=heartbeat_interval,
             runner_factory=lambda seed, config: self._runner(seed, config, "serial"),
         )
         return driver.run()

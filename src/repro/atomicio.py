@@ -1,0 +1,91 @@
+"""Durable atomic file publication, shared by every on-disk store.
+
+``os.replace`` alone makes a write *atomic* (readers see the old bytes or
+the new bytes, never a mix) but not *durable*: after a power loss the
+filesystem may have persisted the rename without the data, leaving an
+empty-but-renamed file where a valid entry used to be.  The cure is the
+classic write → flush → ``fsync`` → rename sequence (plus a best-effort
+directory fsync so the rename itself survives), and it must be the *same*
+sequence everywhere — :class:`repro.analysis.store.ContentStore` and
+:class:`repro.dispatch.queue.FileQueue` both publish JSON documents this
+way, so this module is the single implementation both build on.
+
+Callers that need fail-soft semantics (a cache write must never break the
+computation it caches) catch ``OSError`` at the call site; this function
+always raises so the decision stays visible where it matters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["write_atomic_json"]
+
+
+def write_atomic_json(
+    path: str | Path,
+    payload: object,
+    *,
+    indent: int | None = None,
+    durable: bool = True,
+) -> None:
+    """Publish ``payload`` as JSON at ``path`` atomically and durably.
+
+    The document is serialised with ``sort_keys=True`` (stable bytes for
+    byte-identity checks), written to a unique temporary file in the target
+    directory, flushed and fsynced, then published with ``os.replace``.
+    With ``durable=True`` (the default) the containing directory is fsynced
+    as well, best-effort, so a power loss cannot leave an empty-but-renamed
+    file — the worst case is the *old* state, never a torn one.
+
+    Raises ``OSError`` on any failure; the temporary file is removed
+    best-effort so a failed write leaves no droppings behind.
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=path.parent,
+        prefix=f".{path.stem}.",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            handle.write(json.dumps(payload, indent=indent, sort_keys=True))
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (persists a completed rename).
+
+    Not every filesystem allows opening directories for fsync (and Windows
+    has no equivalent at all), so failures are swallowed: the rename is
+    already atomic, durability of the *entry data* was handled by the file
+    fsync, and "the rename may be lost on power cut" degrades to "the old
+    state", which every store here treats as recompute.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform/filesystem dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform/filesystem dependent
+        pass
+    finally:
+        os.close(fd)

@@ -1,4 +1,4 @@
-"""repro.dispatch — resumable distributed dispatch of experiment shards.
+"""repro.dispatch — resumable, fault-tolerant distributed dispatch of shards.
 
 The driver layer above :mod:`repro.api`'s sharding machinery:
 
@@ -14,7 +14,12 @@ The driver layer above :mod:`repro.api`'s sharding machinery:
   recompute.
 * :class:`~repro.dispatch.queue.FileQueue` / :func:`~repro.dispatch.queue.drain_queue`
   let any host that mounts a shared directory contribute worker cycles
-  (``repro-hpc-codex dispatch-worker``).
+  (``repro-hpc-codex dispatch-worker``), under heartbeat-renewed claim
+  leases with bounded retries and a ``failed/`` quarantine for poison
+  shards.
+* :mod:`~repro.dispatch.faults` injects deterministic failures (crash,
+  hard death, hang, corrupt write, clock skew) at named points, so the
+  fault tolerance above is continuously exercised by chaos tests and CI.
 
 The supported entry points are :meth:`repro.api.Session.dispatch` and the
 ``repro-hpc-codex dispatch`` CLI subcommand; this package is the machinery
@@ -23,22 +28,32 @@ behind them.
 
 from __future__ import annotations
 
+from repro.dispatch import faults
 from repro.dispatch.driver import (
     DISPATCH_BACKENDS,
     DispatchReport,
     ShardDriver,
     ShardOutcome,
+    ShardQuarantine,
 )
-from repro.dispatch.queue import FileQueue, drain_queue
+from repro.dispatch.queue import Claim, FileQueue, HeartbeatLease, drain_queue
+from repro.dispatch.runners import failure_record, run_shard_contained, shard_label
 from repro.dispatch.store import ResultStore, default_result_store_path
 
 __all__ = [
     "DISPATCH_BACKENDS",
+    "Claim",
     "DispatchReport",
     "FileQueue",
+    "HeartbeatLease",
     "ResultStore",
     "ShardDriver",
     "ShardOutcome",
+    "ShardQuarantine",
     "default_result_store_path",
     "drain_queue",
+    "failure_record",
+    "faults",
+    "run_shard_contained",
+    "shard_label",
 ]

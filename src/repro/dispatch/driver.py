@@ -22,18 +22,34 @@ A :class:`ShardDriver` turns a declarative
    byte-identical to an unsharded ``run --json`` and an incomplete one can
    never masquerade as complete.
 
+Failure is a first-class terminal state, not an accident: every local shard
+evaluation runs under crash containment (an exception becomes a structured
+failure record, never a dead driver), failed shards are retried up to
+``max_attempts`` with backoff, and a shard that keeps failing is
+**quarantined** — reported as a :class:`ShardQuarantine` (and, on the file
+queue, dead-lettered to ``failed/``) so one poison shard can never livelock
+a dispatch.  The ``process`` backend enforces an optional per-shard
+``shard_timeout``: a hung subprocess is killed and the shard re-offered.
+File-queue claims are heartbeat-renewed leases (see
+:class:`~repro.dispatch.queue.HeartbeatLease`), so a long-running shard
+with a live worker is never double-executed while a dead worker's shard is
+reclaimed after a few missed beats.  The end state of a dispatch is always
+*byte-identical merge or explicit quarantine* — never wrong records.
+
 Every executed shard is written back to the store before its callbacks
 fire, so the crash window never loses more than the shard in flight.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Union
 
 from repro.analysis.store import VerdictStore
 from repro.api.spec import (
@@ -45,19 +61,26 @@ from repro.api.spec import (
     shard_payload,
 )
 from repro.core.runner import EvaluationRunner, ResultSet
-from repro.dispatch.queue import FileQueue
-from repro.dispatch.runners import RunnerPool
+from repro.dispatch import faults
+from repro.dispatch.queue import DEFAULT_MAX_ATTEMPTS, FileQueue, HeartbeatLease
+from repro.dispatch.runners import (
+    RunnerPool,
+    failure_record,
+    run_shard_contained,
+    shard_label,
+)
 from repro.dispatch.store import ResultStore
 
-__all__ = ["DISPATCH_BACKENDS", "DispatchReport", "ShardDriver", "ShardOutcome"]
+__all__ = [
+    "DISPATCH_BACKENDS",
+    "DispatchReport",
+    "ShardDriver",
+    "ShardOutcome",
+    "ShardQuarantine",
+]
 
 #: Worker backends understood by :class:`ShardDriver`.
 DISPATCH_BACKENDS: tuple[str, ...] = ("inline", "process", "file-queue")
-
-#: How long a file-queue claim may sit without a result before a resuming
-#: driver offers the shard to other workers again (a crashed worker's claim
-#: must not wedge the run forever).
-STALE_CLAIM_SECONDS = 300.0
 
 
 @dataclass(frozen=True)
@@ -78,20 +101,45 @@ class ShardOutcome:
         return self.source == "store"
 
 
+@dataclass(frozen=True)
+class ShardQuarantine:
+    """One poisoned shard: it exhausted its attempts and was set aside.
+
+    ``failure`` is the last structured failure record
+    (:func:`~repro.dispatch.runners.failure_record`) — what broke on the
+    final attempt.  Quarantined shards never enter a merge; they make the
+    dispatch explicitly incomplete instead.
+    """
+
+    entry: ShardEntry
+    attempts: int
+    failure: dict
+
+    def describe(self) -> str:
+        """One line for operator output: which slice, how it died."""
+        return (
+            f"shard [{self.entry.start:05d},{self.entry.stop:05d}) seed {self.entry.seed}: "
+            f"{self.failure.get('error', 'unknown')} after {self.attempts} attempt(s) — "
+            f"{self.failure.get('message', '')}".rstrip(" —")
+        )
+
+
 @dataclass
 class DispatchReport:
     """What a :meth:`ShardDriver.run` accomplished.
 
-    ``outcomes`` lists every *completed* shard in submission order; when
-    ``complete`` is false (the driver hit ``max_shards`` — the crash-test
-    throttle) the remaining shards are still pending and ``results`` holds
-    the manifest-unvalidated partial merge.
+    ``outcomes`` lists every *completed* shard in submission order;
+    ``quarantined`` lists shards that exhausted their attempt budget.
+    When ``complete`` is false, ``pending`` shards were neither merged nor
+    quarantined (the driver hit ``max_shards`` — the crash-test throttle)
+    and ``results`` holds the manifest-unvalidated partial merge.
     """
 
     spec: ExperimentSpec
     #: Per-seed slice count the spec was partitioned into.
     shards: int
     outcomes: list[ShardOutcome] = field(default_factory=list)
+    quarantined: list[ShardQuarantine] = field(default_factory=list)
     results: dict[int, ResultSet] = field(default_factory=dict)
     complete: bool = False
     #: Suggestion modules executed by this driver's local workers.
@@ -102,6 +150,11 @@ class DispatchReport:
     @property
     def shards_total(self) -> int:
         return len(self.spec.seeds) * self.shards
+
+    @property
+    def pending(self) -> int:
+        """Shards neither completed nor quarantined (still dispatchable)."""
+        return self.shards_total - len(self.outcomes) - len(self.quarantined)
 
     @property
     def executed(self) -> list[ShardOutcome]:
@@ -121,9 +174,12 @@ class DispatchReport:
     def result(self) -> ResultSet:
         """The merged records of a complete single-seed dispatch."""
         if not self.complete:
+            detail = f"{len(self.outcomes)}/{self.shards_total} shards done"
+            if self.quarantined:
+                detail += f", {len(self.quarantined)} quarantined"
             raise ValueError(
-                f"dispatch is incomplete ({len(self.outcomes)}/{self.shards_total} "
-                "shards done); re-run against the same result store to resume"
+                f"dispatch is incomplete ({detail}); use .results for the "
+                "partial merge, or re-run against the same result store to resume"
             )
         if len(self.results) != 1:
             raise ValueError(f"dispatch covers seeds {sorted(self.results)}; use .results")
@@ -131,34 +187,64 @@ class DispatchReport:
 
     def summary(self) -> str:
         """One status line: totals, split by provenance."""
-        state = "complete" if self.complete else f"PARTIAL {len(self.outcomes)}/{self.shards_total}"
+        if self.complete:
+            state = "complete"
+        elif self.quarantined and self.pending == 0:
+            state = f"DEGRADED {len(self.outcomes)}/{self.shards_total}"
+        else:
+            state = f"PARTIAL {len(self.outcomes)}/{self.shards_total}"
         line = (
             f"dispatch {state}: {self.shards_total} shard(s), "
             f"executed={len(self.executed)} skipped={len(self.skipped)}"
         )
         if self.remote:
             line += f" remote={len(self.remote)}"
+        if self.quarantined:
+            line += f" quarantined={len(self.quarantined)}"
         return line
 
 
-def _evaluate_shard_in_subprocess(
-    spec: ExperimentSpec, index: int, of: int, store_path: str | None
-) -> tuple[list[dict], int, int, float]:
-    """Process-backend worker: evaluate one shard, return its records.
+def _process_shard_worker(conn, spec: ExperimentSpec, index: int, of: int, store_path) -> None:
+    """Process-backend worker: evaluate one shard, report through the pipe.
 
-    Returns ``(records, sandbox executions, verdict-store hits, seconds)``
-    — the counter deltas let the parent driver aggregate across the pool
-    exactly as :class:`EvaluationRunner`'s chunk workers do, and the
-    worker-measured seconds are the shard's own evaluation cost (the parent
-    cannot separate queueing from computing).
+    Sends ``("ok", records, sandbox executions, verdict-store hits,
+    seconds)`` — the counter deltas let the parent driver aggregate across
+    the pool exactly as :class:`EvaluationRunner`'s chunk workers do, and
+    the worker-measured seconds are the shard's own evaluation cost (the
+    parent cannot separate queueing from computing) — or
+    ``("error", failure record)`` when evaluation raises.  A worker that
+    dies without sending anything (hard crash, injected ``die``, kill on
+    timeout) is detected by the parent through the closed pipe.
     """
-    shard = spec.shard(index, of)
-    store = None if store_path is None else VerdictStore(store_path)
-    start = time.perf_counter()
-    with EvaluationRunner(config=spec.config, seed=shard.seed, verdict_store=store) as runner:
-        results = runner.run_cells(shard.cells())
-        seconds = time.perf_counter() - start
-        return results.to_records(), runner.sandbox_executions, runner.store_hits, seconds
+    try:
+        shard = spec.shard(index, of)
+        store = None if store_path is None else VerdictStore(store_path)
+        with EvaluationRunner(config=spec.config, seed=shard.seed, verdict_store=store) as runner:
+            results, failure, seconds = run_shard_contained(
+                runner, shard, label=shard_label(shard)
+            )
+            if failure is not None:
+                conn.send(("error", failure))
+            else:
+                conn.send(
+                    (
+                        "ok",
+                        results.to_records(),
+                        runner.sandbox_executions,
+                        runner.store_hits,
+                        seconds,
+                    )
+                )
+    except Exception as exc:  # containment of setup errors, not just evaluation
+        try:
+            conn.send(("error", failure_record(exc, label=f"shard-{index}", phase="worker")))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 class ShardDriver:
@@ -197,11 +283,24 @@ class ShardDriver:
         Stop after locally executing this many shards (the deterministic
         stand-in for ``kill -9`` in crash/resume tests and CI).  The run
         reports ``complete=False``; re-running resumes from the store.
+    max_attempts:
+        Failed attempts before a shard is quarantined (default: the
+        queue's policy for the file-queue backend, otherwise
+        :data:`~repro.dispatch.queue.DEFAULT_MAX_ATTEMPTS`).
+    shard_timeout:
+        Per-shard wall-clock limit for the ``process`` backend: a worker
+        exceeding it is killed and the shard retried (counting as one
+        failed attempt).  ``None`` (default) disables the limit.
+    heartbeat_interval, lease_beats:
+        Lease policy forwarded to the :class:`FileQueue` the driver
+        creates from a ``queue`` path (ignored when an existing
+        ``FileQueue`` is passed — its policy governs).
     runner_factory:
         Advanced hook (used by :meth:`repro.api.Session.dispatch`) supplying
         pooled runners for inline evaluation, ``(seed, config) -> runner``.
     poll_interval:
-        File-queue polling cadence while waiting on other workers.
+        Base delay of the file-queue wait loop; actual sleeps grow from it
+        with jittered exponential backoff while nothing changes.
     """
 
     def __init__(
@@ -217,6 +316,10 @@ class ShardDriver:
         progress: Callable | None = None,
         on_shard: Callable[[ShardOutcome], None] | None = None,
         max_shards: int | None = None,
+        max_attempts: int | None = None,
+        shard_timeout: float | None = None,
+        heartbeat_interval: float | None = None,
+        lease_beats: int | None = None,
         runner_factory: Callable[[int, object], EvaluationRunner] | None = None,
         poll_interval: float = 0.05,
     ) -> None:
@@ -228,13 +331,34 @@ class ShardDriver:
             raise ValueError("the file-queue backend needs a queue directory (queue=...)")
         if max_shards is not None and max_shards < 0:
             raise ValueError(f"max_shards must be >= 0, got {max_shards}")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be > 0, got {shard_timeout}")
         self.spec = spec
         self.shards = shards
         self.backend = backend
         self.result_store = ResultStore.coerce(result_store)
         self.verdict_store = VerdictStore.coerce(verdict_store)
         self.max_workers = max_workers
-        self.queue = queue if isinstance(queue, FileQueue) or queue is None else FileQueue(queue)
+        if isinstance(queue, FileQueue) or queue is None:
+            self.queue = queue
+        else:
+            policy = {}
+            if heartbeat_interval is not None:
+                policy["heartbeat_interval"] = heartbeat_interval
+            if lease_beats is not None:
+                policy["lease_beats"] = lease_beats
+            if max_attempts is not None:
+                policy["max_attempts"] = max_attempts
+            self.queue = FileQueue(queue, **policy)
+        if max_attempts is not None:
+            self.max_attempts = max_attempts
+        elif self.queue is not None:
+            self.max_attempts = self.queue.max_attempts
+        else:
+            self.max_attempts = DEFAULT_MAX_ATTEMPTS
+        self.shard_timeout = shard_timeout
         self.progress = progress
         self.on_shard = on_shard
         self.max_shards = max_shards
@@ -266,8 +390,11 @@ class ShardDriver:
                 "process": self._drive_process,
                 "file-queue": self._drive_queue,
             }
-            for outcome in runners[self.backend](plan, cached, budget, report):
-                self._complete_shard(outcome, merge, report)
+            for settled in runners[self.backend](plan, cached, budget, report):
+                if isinstance(settled, ShardQuarantine):
+                    report.quarantined.append(settled)
+                    continue
+                self._complete_shard(settled, merge, report)
         finally:
             self._close_runners()
         report.complete = len(report.outcomes) == report.shards_total
@@ -299,7 +426,7 @@ class ShardDriver:
         cached: dict[int, ResultSet],
         budget: int,
         report: DispatchReport,
-    ) -> Iterator[ShardOutcome]:
+    ) -> Iterator[Union[ShardOutcome, ShardQuarantine]]:
         for shard in plan:
             if shard.index in cached:
                 yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
@@ -310,14 +437,30 @@ class ShardDriver:
                 # reflect everything that is actually done.
                 continue
             budget -= 1
-            runner = self._runner(shard.seed)
-            executions, hits = runner.sandbox_executions, runner.store_hits
-            start = time.perf_counter()
-            results = runner.run_cells(shard.cells())
-            seconds = time.perf_counter() - start
-            report.sandbox_executions += runner.sandbox_executions - executions
-            report.verdict_store_hits += runner.store_hits - hits
-            yield ShardOutcome(shard.entry(), results, "inline", seconds)
+            entry = shard.entry()
+            label = shard_label(shard)
+            failures: list[dict] = []
+            outcome = None
+            for attempt in range(1, self.max_attempts + 1):
+                runner = self._runner(shard.seed)
+                executions, hits = runner.sandbox_executions, runner.store_hits
+                results, failure, seconds = run_shard_contained(
+                    runner, shard, label=label, attempt=attempt
+                )
+                report.sandbox_executions += runner.sandbox_executions - executions
+                report.verdict_store_hits += runner.store_hits - hits
+                if failure is None:
+                    outcome = ShardOutcome(entry, results, "inline", seconds)
+                    break
+                failures.append(failure)
+                if attempt < self.max_attempts:
+                    time.sleep(
+                        faults.backoff_delay(attempt - 1, base=self.poll_interval, cap=0.5)
+                    )
+            if outcome is not None:
+                yield outcome
+            else:
+                yield ShardQuarantine(entry, len(failures), failures[-1])
 
     def _runner(self, seed: int) -> EvaluationRunner:
         if self._runner_factory is not None:
@@ -334,11 +477,11 @@ class ShardDriver:
         cached: dict[int, ResultSet],
         budget: int,
         report: DispatchReport,
-    ) -> Iterator[ShardOutcome]:
+    ) -> Iterator[Union[ShardOutcome, ShardQuarantine]]:
         to_execute = [shard for shard in plan if shard.index not in cached][:budget]
         if not to_execute:
             # Fully warm (or zero budget): serve store hits without paying
-            # for a pool nothing would run on.
+            # for workers nothing would run on.
             for shard in plan:
                 if shard.index not in cached:
                     return
@@ -348,50 +491,130 @@ class ShardDriver:
         # Same hardware-based sizing policy as EvaluationRunner's pools,
         # additionally capped by the actual shard count.
         workers = self.max_workers or min(8, os.cpu_count() or 1, len(to_execute))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _evaluate_shard_in_subprocess,
-                    shard.spec,
-                    shard.index,
-                    shard.of,
-                    store_path,
-                ): shard
-                for shard in to_execute
-            }
-            completed_order = as_completed(futures)
-            ready: dict[int, ShardOutcome] = {}
+        ctx = multiprocessing.get_context()
+        waiting: deque[tuple[Shard, int]] = deque((shard, 1) for shard in to_execute)
+        running: dict = {}
+        ready: dict[int, ShardOutcome] = {}
+        quarantine: dict[int, ShardQuarantine] = {}
+        failures: dict[int, list[dict]] = {}
 
-            def drain_until(index: int) -> None:
-                # Pull pool results in *completion* order and persist each
-                # one to the store the moment it lands — while the driver
-                # waits on an early slow shard, later finished shards are
-                # already crash-safe on disk.  Only the yield below (and
-                # therefore callbacks and the merge) follows submission
-                # order.
-                while index not in ready:
-                    future = next(completed_order)
-                    done = futures[future]
-                    records, executions, hits, seconds = future.result()
-                    report.sandbox_executions += executions
-                    report.verdict_store_hits += hits
-                    results = ResultSet.from_payload(records, seed=done.seed)
-                    if self.result_store is not None:
-                        self.result_store.put(done.entry(), results)
-                    ready[done.index] = ShardOutcome(done.entry(), results, "process", seconds)
+        def spawn() -> None:
+            while waiting and len(running) < workers:
+                shard, attempt = waiting.popleft()
+                parent_end, child_end = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_process_shard_worker,
+                    args=(child_end, shard.spec, shard.index, shard.of, store_path),
+                )
+                proc.start()
+                child_end.close()
+                deadline = (
+                    None
+                    if self.shard_timeout is None
+                    else time.monotonic() + self.shard_timeout
+                )
+                running[parent_end] = (shard, proc, attempt, deadline)
 
-            indexes = {shard.index for shard in to_execute}
-            for shard in plan:
-                if shard.index in cached:
-                    yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
+        def settle_failure(shard: Shard, attempt: int, failure: dict) -> None:
+            history = failures.setdefault(shard.index, [])
+            history.append(failure)
+            if attempt >= self.max_attempts:
+                quarantine[shard.index] = ShardQuarantine(
+                    shard.entry(), len(history), failure
+                )
+            else:
+                waiting.append((shard, attempt + 1))
+
+        def reap(conn, shard: Shard, proc, attempt: int) -> None:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = None
+            conn.close()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - wedged post-report worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if message is None:
+                settle_failure(
+                    shard,
+                    attempt,
+                    failure_record(
+                        "WorkerDied",
+                        label=shard_label(shard),
+                        phase="process",
+                        attempt=attempt,
+                        message=f"worker exited with code {proc.exitcode} before reporting",
+                    ),
+                )
+            elif message[0] == "error":
+                settle_failure(shard, attempt, message[1])
+            else:
+                _, records, executions, hits, seconds = message
+                report.sandbox_executions += executions
+                report.verdict_store_hits += hits
+                results = ResultSet.from_payload(records, seed=shard.seed)
+                # Persist the moment it lands — while the driver waits on an
+                # early slow shard, later finished shards are already
+                # crash-safe on disk.  Only the submission-order yield below
+                # (and therefore callbacks and the merge) waits.
+                if self.result_store is not None:
+                    self.result_store.put(shard.entry(), results)
+                ready[shard.index] = ShardOutcome(shard.entry(), results, "process", seconds)
+
+        def kill_expired() -> None:
+            now = time.monotonic()
+            for conn, (shard, proc, attempt, deadline) in list(running.items()):
+                if deadline is None or now < deadline:
                     continue
-                if shard.index not in indexes:
-                    # Budget-excluded shard: skip it but keep serving any
-                    # later store hits, so the report and partial merge
-                    # reflect everything that is actually done.
-                    continue
-                drain_until(shard.index)
+                del running[conn]
+                proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - terminate ignored
+                    proc.kill()
+                    proc.join(timeout=1.0)
+                conn.close()
+                settle_failure(
+                    shard,
+                    attempt,
+                    failure_record(
+                        "ShardTimeout",
+                        label=shard_label(shard),
+                        phase="process",
+                        attempt=attempt,
+                        message=f"hung worker killed after {self.shard_timeout:.3g}s",
+                    ),
+                )
+
+        def pump_until(index: int) -> None:
+            while index not in ready and index not in quarantine:
+                spawn()
+                deadlines = [d for (_, _, _, d) in running.values() if d is not None]
+                wait_for = (
+                    None
+                    if not deadlines
+                    else max(0.0, min(deadlines) - time.monotonic())
+                )
+                for conn in mp_connection.wait(list(running), timeout=wait_for):
+                    shard, proc, attempt, _ = running.pop(conn)
+                    reap(conn, shard, proc, attempt)
+                kill_expired()
+
+        indexes = {shard.index for shard in to_execute}
+        for shard in plan:
+            if shard.index in cached:
+                yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
+                continue
+            if shard.index not in indexes:
+                # Budget-excluded shard: skip it but keep serving any
+                # later store hits, so the report and partial merge
+                # reflect everything that is actually done.
+                continue
+            pump_until(shard.index)
+            if shard.index in ready:
                 yield ready.pop(shard.index)
+            else:
+                yield quarantine.pop(shard.index)
 
     # -- file-queue backend ----------------------------------------------------
     def _drive_queue(
@@ -400,35 +623,45 @@ class ShardDriver:
         cached: dict[int, ResultSet],
         budget: int,
         report: DispatchReport,
-    ) -> Iterator[ShardOutcome]:
+    ) -> Iterator[Union[ShardOutcome, ShardQuarantine]]:
         queue = self.queue
-        queue.requeue_stale(STALE_CLAIM_SECONDS)
-        pending = [shard for shard in plan if shard.index not in cached]
-        for shard in pending:
-            queue.publish(shard)
+        queue.requeue_stale()
+        for shard in plan:
+            if shard.index not in cached:
+                queue.publish(shard)
         for shard in plan:
             if shard.index in cached:
                 yield ShardOutcome(shard.entry(), cached[shard.index], "store", 0.0)
                 continue
-            outcome = self._resolve_queued_shard(shard, budget, report)
-            if outcome is None:
+            settled = self._resolve_queued_shard(shard, budget, report)
+            if settled is None:
                 # Unresolvable under the spent budget: skip it but keep
                 # serving later store hits and already-published results.
                 continue
-            if outcome.source == "file-queue":
+            if isinstance(settled, ShardOutcome) and settled.source == "file-queue":
                 budget -= 1
-            yield outcome
+            yield settled
 
     def _resolve_queued_shard(
         self, shard: Shard, budget: int, report: DispatchReport
-    ) -> ShardOutcome | None:
-        """Wait for one queued shard: consume its result, or claim and
-        evaluate it ourselves; ``None`` when the execution budget is spent
-        and nobody else is producing it."""
+    ) -> Union[ShardOutcome, ShardQuarantine, None]:
+        """Wait for one queued shard: consume its result, claim and evaluate
+        it ourselves, or accept its quarantine; ``None`` when the execution
+        budget is spent and nobody else is producing it."""
         name = self.queue.task_name(shard)
         entry = shard.entry()
         start = time.perf_counter()
+        idle = 0
+        backoff_cap = max(self.poll_interval, min(1.0, self.queue.lease_seconds / 4))
         while True:
+            dead = self.queue.quarantined(name)
+            if dead is not None:
+                failures = dead.get("failures") or [
+                    failure_record("Quarantined", label=name, phase="queue")
+                ]
+                return ShardQuarantine(
+                    entry, int(dead.get("attempts", len(failures))), failures[-1]
+                )
             payload = self.queue.result(name)
             if payload is not None:
                 try:
@@ -446,38 +679,73 @@ class ShardDriver:
                         pass
                     self.queue.release(name)
                     self.queue.publish(shard)
+                    idle = 0
                     continue
                 return ShardOutcome(entry, results, "remote", time.perf_counter() - start)
             if budget > 0:
-                descriptor = self.queue.claim(name)
-                if descriptor is not None:
-                    runner = self._runner(shard.seed)
-                    executions, hits = runner.sandbox_executions, runner.store_hits
-                    results = runner.run_cells(shard.cells())
-                    report.sandbox_executions += runner.sandbox_executions - executions
-                    report.verdict_store_hits += runner.store_hits - hits
+                if (
+                    name not in self.queue.pending()
+                    and not self._claimed(name)
+                ):
+                    # The task exists nowhere: no result, no dead letter, no
+                    # pending file, no lease.  This happens when a corrupt
+                    # result was dropped after its (retired) claim was
+                    # garbage-collected — re-offer the shard instead of
+                    # waiting for a producer that does not exist.
+                    self.queue.publish(shard)
+                claim = self.queue.claim(name)
+                if claim is not None:
+                    with HeartbeatLease(self.queue, claim):
+                        runner = self._runner(shard.seed)
+                        executions, hits = runner.sandbox_executions, runner.store_hits
+                        results, failure, _ = run_shard_contained(
+                            runner,
+                            shard,
+                            label=name,
+                            attempt=self.queue.attempts(name) + 1,
+                        )
+                        report.sandbox_executions += runner.sandbox_executions - executions
+                        report.verdict_store_hits += runner.store_hits - hits
+                    if failure is not None:
+                        # Released for retry or quarantined — either way the
+                        # loop re-resolves: next iteration sees the re-offered
+                        # task or the dead letter.
+                        self.queue.fail(claim, failure)
+                        idle = 0
+                        continue
                     self.queue.complete(name, shard_payload(shard, results))
-                    return ShardOutcome(entry, results, "file-queue", time.perf_counter() - start)
-                # Another worker holds the claim: poll for its result,
-                # reclaiming if the claim goes stale (worker crashed).
+                    self.queue.retire(claim)
+                    return ShardOutcome(
+                        entry, results, "file-queue", time.perf_counter() - start
+                    )
+                # Another worker holds the lease: poll for its result with
+                # jittered backoff, reclaiming if the lease goes stale
+                # (missed heartbeats — the worker crashed or wedged).
                 self._sweep_stale_claims()
-                time.sleep(self.poll_interval)
+                time.sleep(
+                    faults.backoff_delay(idle, base=self.poll_interval, cap=backoff_cap)
+                )
+                idle += 1
                 continue
             # Budget spent (crash simulation): only already-running remote
             # work could still complete this shard; don't wait for it.
             if name not in self.queue.pending() and self._claimed(name):
                 self._sweep_stale_claims()
-                time.sleep(self.poll_interval)
+                time.sleep(
+                    faults.backoff_delay(idle, base=self.poll_interval, cap=backoff_cap)
+                )
+                idle += 1
                 continue
             return None
 
     def _sweep_stale_claims(self) -> None:
         """Throttled ``requeue_stale``: at most one directory sweep per
-        ``STALE_CLAIM_SECONDS / 10`` while the wait loops poll."""
+        tenth of the lease while the wait loops poll."""
         now = time.monotonic()
         if now >= self._next_stale_sweep:
-            self.queue.requeue_stale(STALE_CLAIM_SECONDS)
-            self._next_stale_sweep = now + max(1.0, STALE_CLAIM_SECONDS / 10)
+            self.queue.requeue_stale()
+            throttle = min(30.0, max(0.05, self.queue.lease_seconds / 10))
+            self._next_stale_sweep = now + throttle
 
     def _claimed(self, name: str) -> bool:
-        return (self.queue.claims_dir / f"{name}.json").exists()
+        return bool(self.queue._claim_files(name))

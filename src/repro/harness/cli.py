@@ -21,10 +21,14 @@ Sub-commands
                merge, and — with ``--result-store`` — resume any earlier
                killed run instead of re-executing its finished shards.  The
                merged ``--json`` output is byte-identical to ``run --json``.
+               Failing shards are retried (``--max-attempts``) and then
+               quarantined; ``--allow-partial`` merges the survivors of a
+               degraded run (exit 4) instead of refusing (exit 3).
 ``dispatch-worker``
                Drain shard tasks from a ``file-queue`` directory: run this
                on any host that mounts the queue to contribute cycles to a
-               ``dispatch --backend file-queue``.
+               ``dispatch --backend file-queue``.  ``--poll SECONDS`` keeps
+               the worker waiting (with backoff) for late-published tasks.
 ``cache``      Inspect (``stats``) or empty (``clear``) the persistent
                verdict store.
 
@@ -174,6 +178,36 @@ def build_parser() -> argparse.ArgumentParser:
         "the run exits with status 3 and resumes from --result-store)",
     )
     dispatch.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed attempts before a shard is quarantined (default 3)",
+    )
+    dispatch.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a process-backend shard exceeding this wall clock and retry it "
+        "(counts as one failed attempt)",
+    )
+    dispatch.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="file-queue claim-lease renewal interval (default 5; a claim is "
+        "stale after 3 missed heartbeats)",
+    )
+    dispatch.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="when shards were quarantined but nothing is pending, merge the "
+        "surviving shards anyway and exit with status 4 (degraded) instead "
+        "of refusing to merge",
+    )
+    dispatch.add_argument(
         "--languages", nargs="+", default=None, help="restrict the grid to these languages"
     )
     dispatch.add_argument(
@@ -190,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--queue", required=True, metavar="DIR", help="queue directory to drain")
     worker.add_argument(
         "--max-tasks", type=int, default=None, metavar="N", help="evaluate at most N tasks"
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep polling (with backoff) until the queue has stayed empty this "
+        "long, instead of exiting the moment it looks empty",
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the persistent verdict store")
@@ -336,6 +378,9 @@ def _cmd_dispatch(args: argparse.Namespace, session) -> int:
         queue=args.queue,
         max_workers=args.workers,
         max_shards=args.max_shards,
+        max_attempts=args.max_attempts,
+        shard_timeout=args.shard_timeout,
+        heartbeat_interval=args.heartbeat,
     )
     print(report.summary())
     if store is not None:
@@ -345,13 +390,38 @@ def _cmd_dispatch(args: argparse.Namespace, session) -> int:
             f"shard-writes={store.writes}",
             file=sys.stderr,
         )
+    for quarantine in report.quarantined:
+        print(f"quarantined: {quarantine.describe()}", file=sys.stderr)
     if not report.complete:
+        if report.pending:
+            print(
+                f"{report.pending} shard(s) still pending; "
+                "re-run with the same --result-store to resume",
+                file=sys.stderr,
+            )
+            return 3
+        # Every shard settled, but some settled in quarantine: merge the
+        # survivors only on an explicit --allow-partial, and even then exit
+        # nonzero — degraded output must never look like a clean run.
+        if not args.allow_partial:
+            print(
+                f"{len(report.quarantined)} shard(s) quarantined; pass "
+                "--allow-partial to merge the surviving shards anyway",
+                file=sys.stderr,
+            )
+            return 3
+        results = report.results.get(args.seed)
+        merged = 0 if results is None else len(results)
         print(
-            f"{report.shards_total - len(report.outcomes)} shard(s) still pending; "
-            "re-run with the same --result-store to resume",
-            file=sys.stderr,
+            f"merged {merged} cells from {len(report.outcomes)} surviving shard(s) "
+            f"(--allow-partial; {len(report.quarantined)} quarantined)"
         )
-        return 3
+        if results is not None:
+            if args.json:
+                print(f"wrote {save_records_json(results, args.json)}")
+            if args.csv:
+                print(f"wrote {save_records_csv(results, args.csv)}")
+        return 4
     results = report.result()
     print(f"merged {len(results)} cells (seed {args.seed}, mean score {results.mean_score():.3f})")
     if args.json:
@@ -365,7 +435,10 @@ def _cmd_dispatch_worker(args: argparse.Namespace, session) -> int:
     from repro.dispatch.queue import drain_queue
 
     executed = drain_queue(
-        args.queue, max_tasks=args.max_tasks, verdict_store=session.verdict_store
+        args.queue,
+        max_tasks=args.max_tasks,
+        verdict_store=session.verdict_store,
+        poll=args.poll,
     )
     print(f"dispatch-worker: evaluated {executed} task(s) from {args.queue}")
     return 0
