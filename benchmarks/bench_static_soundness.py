@@ -1,0 +1,144 @@
+"""CI gate: the CUDA-C static hazard analyzer must be conservative.
+
+The analyzer's contract is one-sided: a ``SAFE`` verdict is a *proof*, so a
+kernel whose hazard class is reported ``SAFE`` must never trigger the
+corresponding runtime hazard fallback.  (``HAZARD``/``UNKNOWN`` claims carry
+no such obligation — the runtime tracking simply stays on.)
+
+This harness enforces that empirically over the full corpus — every stock
+template and every mutated variant with an embedded CUDA kernel:
+
+* each suggestion is executed solo with static elision **off**, so the
+  lockstep engine's runtime hazard tracking acts as the ground-truth oracle;
+* for every hazard class the analyzer reported ``SAFE`` across the
+  suggestion's kernels, the run must record zero scalar fallbacks with that
+  class's runtime reasons;
+* non-vacuity: the stock templates must actually be proven race-``SAFE``
+  (otherwise the gate would pass by never claiming anything), and the
+  ``race_injection`` mutants must be flagged ``HAZARD``;
+* finally, a stock pass with elision **on** must still satisfy every oracle
+  and actually elide — the optimization the soundness proof pays for.
+
+Runs standalone (``python benchmarks/bench_static_soundness.py``) or under
+pytest (the ``static-soundness`` CI job).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hazards import static_findings_for
+from repro.corpus.store import default_corpus
+from repro.sandbox import evaluate_python_suggestions
+from repro.sandbox.cuda_c import lockstep_stats, reset_lockstep_stats, static_elision
+
+#: Runtime fallback reasons that would falsify a SAFE verdict of each class.
+#: barrier-divergence has no runtime counterpart (the interpreter's barrier
+#: is a vectorized no-op), so its SAFE claims are vacuously unfalsifiable
+#: here and checked only by the unit suite.
+KIND_RUNTIME_REASONS: dict[str, tuple[str, ...]] = {
+    "write-write-race": ("cross-lane-write", "duplicate-scatter", "atomic-result-order"),
+    "duplicate-scatter": ("duplicate-scatter",),
+    "cross-lane-read": ("cross-lane-read", "write-after-read"),
+    "out-of-bounds": ("out-of-bounds", "bad-index"),
+    "uninitialized-read": (
+        "partially-defined-read",
+        "unknown-identifier",
+        "undefined-local-array",
+    ),
+    "barrier-divergence": (),
+}
+
+
+def _cuda_snippets(corpus):
+    return [
+        s
+        for s in corpus
+        if s.language == "python"
+        and ("SourceModule" in s.code or "RawKernel" in s.code)
+    ]
+
+
+def run_soundness() -> dict:
+    """Execute the corpus against the runtime oracle; returns a summary."""
+    corpus = default_corpus(include_mutations=True)
+    snippets = _cuda_snippets(corpus)
+    assert snippets, "no CUDA-embedded suggestions found in the corpus"
+
+    checked = 0
+    safe_claims = 0
+    race_hazard_mutants = 0
+    violations: list[str] = []
+    for snippet in snippets:
+        findings = static_findings_for(snippet.code, snippet.language, snippet.kernel)
+        label = f"{snippet.kernel}/{snippet.label_model}[{snippet.mutation or 'template'}]"
+        if snippet.mutation == "race_injection" and any(
+            f["kind"] == "write-write-race" and f["verdict"] == "HAZARD" for f in findings
+        ):
+            race_hazard_mutants += 1
+        reset_lockstep_stats()
+        with static_elision(False):
+            evaluate_python_suggestions([(snippet.code, snippet.kernel)])
+        stats = lockstep_stats()
+        checked += 1
+        for kind, reasons in KIND_RUNTIME_REASONS.items():
+            kind_findings = [f for f in findings if f["kind"] == kind]
+            if not kind_findings or any(f["verdict"] != "SAFE" for f in kind_findings):
+                continue
+            safe_claims += 1
+            triggered = {
+                reason: stats.get(f"fallback[{reason}]", 0)
+                for reason in reasons
+                if stats.get(f"fallback[{reason}]", 0)
+            }
+            if triggered:
+                violations.append(f"{label}: {kind} claimed SAFE but runtime hit {triggered}")
+    assert not violations, "static analyzer soundness violated:\n" + "\n".join(violations)
+
+    # Non-vacuity: the gate must actually be exercising proofs.
+    templates = [s for s in snippets if s.origin.value == "template"]
+    for snippet in templates:
+        findings = static_findings_for(snippet.code, snippet.language, snippet.kernel)
+        races = [f for f in findings if f["kind"] == "write-write-race"]
+        assert races and all(f["verdict"] == "SAFE" for f in races), (
+            f"stock template {snippet.kernel}/{snippet.label_model} no longer "
+            f"proven race-SAFE: {races}"
+        )
+    assert race_hazard_mutants > 0, "no race_injection mutant was flagged HAZARD"
+    assert safe_claims > 0, "no SAFE claim was ever checked against the runtime"
+
+    # The payoff path: elision on, stock corpus, oracles intact, launches elided.
+    stock = [(s.code, s.kernel) for s in templates]
+    reset_lockstep_stats()
+    with static_elision(True):
+        results = evaluate_python_suggestions(stock)
+    elided_stats = lockstep_stats()
+    failed = [kernel for (_, kernel), r in zip(stock, results) if not r.passed]
+    assert not failed, f"stock suggestions failed their oracles under elision: {failed}"
+    assert elided_stats.get("launches_static_elided", 0) > 0, (
+        "static elision never engaged on the stock corpus"
+    )
+
+    return {
+        "suggestions": checked,
+        "safe_claims": safe_claims,
+        "race_hazard_mutants": race_hazard_mutants,
+        "elided_launches": elided_stats.get("launches_static_elided", 0),
+    }
+
+
+def test_static_analyzer_is_conservative():
+    run_soundness()
+
+
+def main() -> None:
+    summary = run_soundness()
+    print(
+        "static soundness ok: "
+        f"{summary['suggestions']} suggestions checked, "
+        f"{summary['safe_claims']} SAFE claims upheld by the runtime oracle, "
+        f"{summary['race_hazard_mutants']} race mutants flagged, "
+        f"{summary['elided_launches']} launches elided on the stock corpus"
+    )
+
+
+if __name__ == "__main__":
+    main()

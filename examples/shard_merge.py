@@ -80,7 +80,7 @@ def main() -> None:
         print(f"byte-identical to the unsharded run: {identical}")
         assert identical
 
-        print(f"\nwarm pass (same machines, store now populated):")
+        print("\nwarm pass (same machines, store now populated):")
         warm_payloads, warm_seconds, warm_executions = evaluate_all_shards(spec, store_dir)
         print(
             f"\nverdict store: cold {cold_seconds:.2f}s ({cold_executions} sandbox "

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.analysis import clike, fortranlang, julialang, pythonlang
+from repro.analysis import clike, fortranlang, hazards, julialang, pythonlang
 from repro.analysis.detection import detect_models
 from repro.analysis.store import VerdictStore
 from repro.analysis.verdict import SuggestionVerdict
@@ -59,7 +59,11 @@ def _copy_verdict(verdict: SuggestionVerdict) -> SuggestionVerdict:
     """Defensive copy handed to callers: :class:`SuggestionVerdict` is
     mutable, and an aliased memo entry would let one caller's mutation
     poison every later analysis in the process."""
-    return dataclasses.replace(verdict, issues=list(verdict.issues))
+    return dataclasses.replace(
+        verdict,
+        issues=list(verdict.issues),
+        static_findings=[dict(f) for f in verdict.static_findings],
+    )
 
 #: Signature of the pluggable Python execution backend:
 #: ``(code, kernel) -> (math_correct, issues)``.
@@ -286,6 +290,9 @@ class SuggestionAnalyzer:
                 issues.extend(julialang.check_kernel_semantics(code, kernel))
             verdict.method = "static"
         elif lang.name == "python":
+            # Informational static hazard findings for embedded CUDA-C
+            # kernels; they never affect issues or math_correct.
+            verdict.static_findings = hazards.static_findings_for(code, "python", kernel)
             issues.extend(pythonlang.check_structure(code))
             undefined = pythonlang.undefined_call_names(code)
             if undefined:

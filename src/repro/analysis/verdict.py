@@ -21,7 +21,10 @@ __all__ = ["ANALYSIS_VERSION", "SuggestionVerdict"]
 #:    ternary-expression support and pyCUDA GPUArray/memcpy fidelity fixes);
 #:    verdicts produced by interpreter-backed execution are re-derived
 #:    rather than served from stores written by the scalar-only interpreter.
-ANALYSIS_VERSION = 2
+#: 3: verdicts carry ``static_findings`` from the CUDA-C static hazard
+#:    analyzer (race/OOB/barrier/uninit verdicts per embedded kernel);
+#:    pre-3 store entries lack the field and degrade to recompute.
+ANALYSIS_VERSION = 3
 
 
 @dataclass
@@ -44,6 +47,11 @@ class SuggestionVerdict:
     issues: list[str] = field(default_factory=list)
     #: How the math judgement was obtained ("static", "executed", "none").
     method: str = "static"
+    #: Findings from the CUDA-C static hazard analyzer, one dict per
+    #: (kernel, hazard-class) pair: ``{"kernel", "kind", "verdict",
+    #: "buffer", "detail", "line"}``.  Informational — never feeds
+    #: :attr:`is_correct` (execution remains the correctness oracle).
+    static_findings: list[dict] = field(default_factory=list)
 
     @property
     def is_correct(self) -> bool:
@@ -66,6 +74,7 @@ class SuggestionVerdict:
             "math_correct": self.math_correct,
             "issues": list(self.issues),
             "method": self.method,
+            "static_findings": [dict(f) for f in self.static_findings],
         }
 
     @classmethod
@@ -77,10 +86,17 @@ class SuggestionVerdict:
         """
         detected = payload["detected_models"]
         issues = payload["issues"]
+        # The key is required: pre-version-3 payloads lack it, and the
+        # resulting KeyError makes the verdict store degrade to recompute.
+        findings = payload["static_findings"]
         # A bare string would iterate characterwise into a garbled-but-valid
         # verdict; reject it as corrupt instead.
         if not isinstance(detected, (list, tuple)) or not isinstance(issues, (list, tuple)):
             raise TypeError("detected_models and issues must be lists")
+        if not isinstance(findings, (list, tuple)) or not all(
+            isinstance(f, dict) for f in findings
+        ):
+            raise TypeError("static_findings must be a list of dicts")
         return cls(
             is_code=bool(payload["is_code"]),
             detected_models=tuple(str(uid) for uid in detected),
@@ -89,6 +105,7 @@ class SuggestionVerdict:
             math_correct=bool(payload["math_correct"]),
             issues=[str(issue) for issue in issues],
             method=str(payload["method"]),
+            static_findings=[dict(f) for f in findings],
         )
 
     def summary(self) -> str:

@@ -38,6 +38,10 @@ __all__ = ["SuggestionSampler"]
 _SAME_MODEL_MUTATIONS = ("wrong_operator", "off_by_one", "undefined_helper", "truncate")
 #: Mutations that remove the parallel construct entirely.
 _SERIAL_MUTATIONS = ("drop_parallelism",)
+#: Mutations that only apply to Python snippets with embedded CUDA-C kernels.
+#: Kept out of _SAME_MODEL_MUTATIONS so non-CUDA cells draw the exact same
+#: random stream as before the operator existed.
+_CUDA_MUTATIONS = ("race_injection",)
 
 
 @dataclass
@@ -93,6 +97,10 @@ class SuggestionSampler:
         if template is None:
             return None
         names = list(_SAME_MODEL_MUTATIONS + _SERIAL_MUTATIONS)
+        if template.language == "python" and (
+            "RawKernel" in template.code or "SourceModule" in template.code
+        ):
+            names.extend(_CUDA_MUTATIONS)
         weights = np.array([MUTATION_OPERATORS[n].weight for n in names], dtype=np.float64)
         weights /= weights.sum()
         order = rng.permutation(len(names))

@@ -34,6 +34,15 @@ class CellResult:
     def n_correct(self) -> int:
         return sum(1 for v in self.verdicts if v.is_correct)
 
+    @property
+    def n_hazards(self) -> int:
+        """Suggestions with at least one static ``HAZARD`` finding."""
+        return sum(
+            1
+            for v in self.verdicts
+            if any(f.get("verdict") == "HAZARD" for f in v.static_findings)
+        )
+
     def to_record(self) -> dict:
         """Flat dictionary for CSV/JSON persistence."""
         return {
@@ -46,6 +55,7 @@ class CellResult:
             "level": self.level.label,
             "n_suggestions": self.n_suggestions,
             "n_correct": self.n_correct,
+            "n_hazards": self.n_hazards,
             "competence": round(self.competence, 4),
         }
 

@@ -230,6 +230,46 @@ def _mutate_truncate(snippet: CodeSnippet) -> CodeSnippet | None:
     )
 
 
+#: ``int i = blockIdx.x * blockDim.x + threadIdx.x;`` — the canonical
+#: global-lane-index computation in the embedded CUDA-C templates.
+_CUDA_LANE_DECL_RE = re.compile(
+    r"int\s+(\w+)\s*=\s*blockIdx\.\w+\s*\*\s*blockDim\.\w+\s*\+\s*threadIdx\.\w+\s*;"
+)
+
+
+def _mutate_race_injection(snippet: CodeSnippet) -> CodeSnippet | None:
+    """Turn a per-lane store into a fixed-index store: every thread now
+    writes element 0, a classic write-write race.  The result is still
+    syntactically valid CUDA and usually numerically wrong only in the
+    raced element, which makes it a good adversarial case for the static
+    hazard analyzer (the lockstep runtime catches it as a cross-lane-write
+    or duplicate-scatter hazard and falls back to the scalar sweep)."""
+    if snippet.language != "python":
+        return None
+    code = snippet.code
+    if "RawKernel" not in code and "SourceModule" not in code:
+        return None
+    if snippet.kernel == "cg":
+        # CG re-launches its kernel ~1000x per solve; with the race injected
+        # every launch takes the scalar-sweep fallback, which makes sandbox
+        # evaluation of this mutant disproportionately slow.
+        return None
+    lane_match = _CUDA_LANE_DECL_RE.search(code)
+    if lane_match is None:
+        return None
+    lane = lane_match.group(1)
+    store_re = re.compile(r"(\w+)\[" + re.escape(lane) + r"\](\s*)(\+?=)(?!=)")
+    mutated, count = store_re.subn(r"\g<1>[0]\g<2>\g<3>", code, count=1)
+    if not count or mutated == code:
+        return None
+    return snippet.with_code(
+        mutated,
+        mutation="race_injection",
+        label_correct=False,
+        origin=SnippetOrigin.MUTATION,
+    )
+
+
 def _mutate_comment_only(snippet: CodeSnippet) -> CodeSnippet | None:
     """Replace the code with a restatement of the prompt as a comment — the
     "no code at all" answer."""
@@ -295,6 +335,12 @@ MUTATION_OPERATORS: dict[str, MutationOperator] = {
             description="serial code with the parallel construct removed",
             func=_mutate_drop_parallelism,
             weight=1.3,
+        ),
+        MutationOperator(
+            name="race_injection",
+            description="per-lane CUDA store rewritten to a fixed index (write-write race)",
+            func=_mutate_race_injection,
+            weight=0.6,
         ),
         MutationOperator(
             name="truncate",

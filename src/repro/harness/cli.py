@@ -29,6 +29,10 @@ Sub-commands
                on any host that mounts the queue to contribute cycles to a
                ``dispatch --backend file-queue``.  ``--poll SECONDS`` keeps
                the worker waiting (with backoff) for late-published tasks.
+``lint``       Run the CUDA-C static hazard analyzer over the corpus'
+               embedded kernels and print the per-kernel findings
+               (``--mutations`` adds the mutated variants, where the
+               hazards live; ``--hazards-only`` filters the listing).
 ``cache``      Inspect (``stats``) or empty (``clear``) the persistent
                verdict store.
 
@@ -232,6 +236,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="keep polling (with backoff) until the queue has stayed empty this "
         "long, instead of exiting the moment it looks empty",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static hazard findings for the corpus' embedded CUDA-C kernels",
+    )
+    lint.add_argument(
+        "--kernel", default=None, help="restrict to one kernel family (axpy, gemv, ...)"
+    )
+    lint.add_argument(
+        "--mutations",
+        action="store_true",
+        help="also lint the mutated corpus variants (where the hazards live)",
+    )
+    lint.add_argument(
+        "--hazards-only",
+        action="store_true",
+        help="print only HAZARD findings (summary still counts everything)",
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the persistent verdict store")
@@ -444,6 +466,48 @@ def _cmd_dispatch_worker(args: argparse.Namespace, session) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, session) -> int:
+    from collections import Counter
+
+    from repro.analysis.hazards import static_findings_for
+    from repro.corpus.store import default_corpus
+
+    corpus = default_corpus(include_mutations=args.mutations)
+    counts: Counter[str] = Counter()
+    linted = 0
+    for snippet in corpus:
+        if snippet.language != "python":
+            continue
+        if args.kernel and snippet.kernel != args.kernel.lower():
+            continue
+        findings = static_findings_for(snippet.code, snippet.language, snippet.kernel)
+        if not findings:
+            continue
+        linted += 1
+        origin = snippet.mutation or snippet.origin.value
+        shown = [
+            f
+            for f in findings
+            if f["verdict"] == "HAZARD" or not args.hazards_only
+        ]
+        if shown:
+            print(f"{snippet.kernel}/{snippet.label_model} [{origin}]")
+        for finding in shown:
+            where = f" buffer={finding['buffer']}" if finding.get("buffer") else ""
+            line = f" line={finding['line']}" if finding.get("line") else ""
+            print(
+                f"  {finding['verdict']:7s} {finding['kind']}"
+                f" kernel={finding['kernel']}{where}{line}  {finding['detail']}"
+            )
+        for finding in findings:
+            counts[finding["verdict"]] += 1
+    print(
+        f"linted {linted} snippet(s): "
+        + ", ".join(f"{verdict}={counts[verdict]}" for verdict in ("SAFE", "HAZARD", "UNKNOWN"))
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace, session) -> int:
     from repro.analysis.store import VerdictStore, default_store_path
 
@@ -481,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
         "merge": _cmd_merge,
         "dispatch": _cmd_dispatch,
         "dispatch-worker": _cmd_dispatch_worker,
+        "lint": _cmd_lint,
         "cache": _cmd_cache,
     }
     from repro.api.session import Session

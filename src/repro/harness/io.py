@@ -27,6 +27,7 @@ _FIELDS = [
     "level",
     "n_suggestions",
     "n_correct",
+    "n_hazards",
     "competence",
 ]
 
@@ -70,6 +71,8 @@ _CSV_COERCERS = {
     "score": float,
     "n_suggestions": int,
     "n_correct": int,
+    # Tolerant of pre-hazard-analyzer CSVs where the column is absent/empty.
+    "n_hazards": lambda value: int(value) if value else 0,
     "competence": float,
 }
 

@@ -14,7 +14,12 @@ cuPy ``RawKernel`` suggestions without a GPU.
 from __future__ import annotations
 
 from repro.sandbox.cuda_c.interpreter import CudaKernel, CudaModule, execution_mode
-from repro.sandbox.cuda_c.lockstep import lockstep_stats, reset_lockstep_stats
+from repro.sandbox.cuda_c.lockstep import (
+    lockstep_stats,
+    reset_lockstep_stats,
+    static_elision,
+    static_elision_enabled,
+)
 from repro.sandbox.cuda_c.parser import parse_cuda_source, CudaSyntaxError
 
 __all__ = [
@@ -25,4 +30,6 @@ __all__ = [
     "execution_mode",
     "lockstep_stats",
     "reset_lockstep_stats",
+    "static_elision",
+    "static_elision_enabled",
 ]

@@ -1,4 +1,12 @@
-"""AST node definitions for the CUDA-C subset."""
+"""AST node definitions for the CUDA-C subset.
+
+Statement nodes (and :class:`KernelDef`) carry the 1-based source ``line``
+they started on so downstream passes — in particular the static hazard
+analyzer in :mod:`repro.sandbox.cuda_c.static` — can attach source spans to
+their findings.  ``line`` is excluded from equality and hashing: two parses
+of the same kernel text are interchangeable as cache keys regardless of
+where the text sat in the enclosing file.
+"""
 
 from __future__ import annotations
 
@@ -66,6 +74,7 @@ class Call:
 @dataclass(frozen=True)
 class Block:
     statements: tuple = ()
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,7 @@ class Decl:
     type: str
     name: str
     init: object | None = None
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -80,6 +90,7 @@ class Assign:
     target: object      # Var or Index
     op: str             # "=", "+=", "-=", "*=", "/="
     value: object
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -87,6 +98,7 @@ class If:
     cond: object
     then: Block
     orelse: Block | None = None
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -95,32 +107,36 @@ class For:
     cond: object | None
     update: object | None
     body: Block
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class While:
     cond: object
     body: Block
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class Return:
     value: object | None = None
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class Break:
-    pass
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class Continue:
-    pass
+    line: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class ExprStmt:
     expr: object
+    line: int = field(default=0, compare=False)
 
 
 # -- definitions ----------------------------------------------------------------
@@ -139,3 +155,4 @@ class KernelDef:
     params: tuple[Param, ...]
     body: Block
     qualifiers: tuple[str, ...] = field(default=())
+    line: int = field(default=0, compare=False)

@@ -54,6 +54,11 @@ class _Parser:
             raise CudaSyntaxError(f"expected {text!r} but found {found!r} (line {line})")
         return self.advance()
 
+    def line(self) -> int:
+        """Source line of the next token (0 at end of input)."""
+        token = self.peek()
+        return token.line if token is not None else 0
+
     # -- top level -----------------------------------------------------------
     def parse_module(self) -> dict[str, ast.KernelDef]:
         kernels: dict[str, ast.KernelDef] = {}
@@ -74,6 +79,7 @@ class _Parser:
         return kernels
 
     def parse_function(self) -> ast.KernelDef:
+        line = self.line()
         qualifiers: list[str] = []
         while self.peek() is not None and self.peek().text in _QUALIFIERS:
             qualifiers.append(self.advance().text)
@@ -92,7 +98,8 @@ class _Parser:
         params = self.parse_params()
         body = self.parse_block()
         return ast.KernelDef(
-            name=name_token.text, params=tuple(params), body=body, qualifiers=tuple(qualifiers)
+            name=name_token.text, params=tuple(params), body=body,
+            qualifiers=tuple(qualifiers), line=line,
         )
 
     def parse_params(self) -> list[ast.Param]:
@@ -133,6 +140,7 @@ class _Parser:
 
     # -- statements -----------------------------------------------------------
     def parse_block(self) -> ast.Block:
+        line = self.line()
         self.expect("{")
         statements: list[object] = []
         while not self.check("}"):
@@ -140,7 +148,7 @@ class _Parser:
                 raise CudaSyntaxError("unterminated block")
             statements.append(self.parse_statement())
         self.expect("}")
-        return ast.Block(statements=tuple(statements))
+        return ast.Block(statements=tuple(statements), line=line)
 
     def parse_statement(self) -> object:
         token = self.peek()
@@ -161,15 +169,15 @@ class _Parser:
             self.advance()
             value = None if self.check(";") else self.parse_expression()
             self.expect(";")
-            return ast.Return(value=value)
+            return ast.Return(value=value, line=token.line)
         if token.text == "break":
             self.advance()
             self.expect(";")
-            return ast.Break()
+            return ast.Break(line=token.line)
         if token.text == "continue":
             self.advance()
             self.expect(";")
-            return ast.Continue()
+            return ast.Continue(line=token.line)
         if token.text in _TYPE_KEYWORDS or token.text in _QUALIFIERS:
             stmt = self.parse_declaration()
             self.expect(";")
@@ -179,6 +187,7 @@ class _Parser:
         return stmt
 
     def parse_declaration(self) -> ast.Decl:
+        line = self.line()
         while self.peek() is not None and self.peek().text in _QUALIFIERS:
             self.advance()
         type_parts: list[str] = []
@@ -197,11 +206,13 @@ class _Parser:
             init = ast.Call(name="__local_array__", args=(size_expr,))
         if self.match("="):
             init = self.parse_expression()
-        return ast.Decl(type=" ".join(type_parts) or "double", name=name_token.text, init=init)
+        return ast.Decl(type=" ".join(type_parts) or "double", name=name_token.text,
+                        init=init, line=line)
 
     def parse_simple_statement(self) -> object:
         """Assignment, increment or expression statement (without the ';')."""
         start = self.pos
+        line = self.line()
         expr = self.parse_expression()
         token = self.peek()
         if token is not None and token.text in ("=", "+=", "-=", "*=", "/=", "%="):
@@ -209,18 +220,20 @@ class _Parser:
             value = self.parse_expression()
             if not isinstance(expr, (ast.Var, ast.Index, ast.Member)):
                 raise CudaSyntaxError("invalid assignment target")
-            return ast.Assign(target=expr, op=op, value=value)
+            return ast.Assign(target=expr, op=op, value=value, line=line)
         if token is not None and token.text in ("++", "--"):
             op = self.advance().text
             if not isinstance(expr, (ast.Var, ast.Index)):
                 raise CudaSyntaxError("invalid increment target")
-            return ast.Assign(target=expr, op="+=" if op == "++" else "-=", value=ast.Num(1))
+            return ast.Assign(target=expr, op="+=" if op == "++" else "-=",
+                              value=ast.Num(1), line=line)
         # Pre-increment handled in parse_expression via Unary; plain calls
         # (e.g. __syncthreads()) become expression statements.
         del start
-        return ast.ExprStmt(expr=expr)
+        return ast.ExprStmt(expr=expr, line=line)
 
     def parse_if(self) -> ast.If:
+        line = self.line()
         self.expect("if")
         self.expect("(")
         cond = self.parse_expression()
@@ -229,9 +242,10 @@ class _Parser:
         orelse = None
         if self.match("else"):
             orelse = self._statement_as_block()
-        return ast.If(cond=cond, then=then, orelse=orelse)
+        return ast.If(cond=cond, then=then, orelse=orelse, line=line)
 
     def parse_for(self) -> ast.For:
+        line = self.line()
         self.expect("for")
         self.expect("(")
         init: object | None = None
@@ -246,15 +260,16 @@ class _Parser:
         update = None if self.check(")") else self.parse_simple_statement()
         self.expect(")")
         body = self._statement_as_block()
-        return ast.For(init=init, cond=cond, update=update, body=body)
+        return ast.For(init=init, cond=cond, update=update, body=body, line=line)
 
     def parse_while(self) -> ast.While:
+        line = self.line()
         self.expect("while")
         self.expect("(")
         cond = self.parse_expression()
         self.expect(")")
         body = self._statement_as_block()
-        return ast.While(cond=cond, body=body)
+        return ast.While(cond=cond, body=body, line=line)
 
     def _statement_as_block(self) -> ast.Block:
         stmt = self.parse_statement()
