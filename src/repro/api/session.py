@@ -207,6 +207,23 @@ class Session:
             self._retire(retired)
         return runner
 
+    def runner(
+        self,
+        seed: int | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+    ) -> EvaluationRunner:
+        """The pooled :class:`EvaluationRunner` for (seed, config, backend).
+
+        The seam long-lived embeddings build on (the dispatch driver's
+        inline backend, the JSON-RPC evaluation service): callers evaluate
+        through the session's runner pool — shared verdict store, shared
+        progress callback, warm worker pools — without going through the
+        per-language result cache.  The runner is owned by the session;
+        do not close it."""
+        seed, config, backend = self._resolve(seed, config, backend)
+        return self._runner(seed, config, backend)
+
     # -- core evaluation ------------------------------------------------------
     def language_results(
         self,

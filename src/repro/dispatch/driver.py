@@ -65,6 +65,7 @@ from repro.dispatch import faults
 from repro.dispatch.queue import DEFAULT_MAX_ATTEMPTS, FileQueue, HeartbeatLease
 from repro.dispatch.runners import (
     RunnerPool,
+    evaluate_with_retries,
     failure_record,
     run_shard_contained,
     shard_label,
@@ -438,27 +439,19 @@ class ShardDriver:
                 continue
             budget -= 1
             entry = shard.entry()
-            label = shard_label(shard)
-            failures: list[dict] = []
-            outcome = None
-            for attempt in range(1, self.max_attempts + 1):
-                runner = self._runner(shard.seed)
-                executions, hits = runner.sandbox_executions, runner.store_hits
-                results, failure, seconds = run_shard_contained(
-                    runner, shard, label=label, attempt=attempt
-                )
-                report.sandbox_executions += runner.sandbox_executions - executions
-                report.verdict_store_hits += runner.store_hits - hits
-                if failure is None:
-                    outcome = ShardOutcome(entry, results, "inline", seconds)
-                    break
-                failures.append(failure)
-                if attempt < self.max_attempts:
-                    time.sleep(
-                        faults.backoff_delay(attempt - 1, base=self.poll_interval, cap=0.5)
-                    )
-            if outcome is not None:
-                yield outcome
+            runner = self._runner(shard.seed)
+            executions, hits = runner.sandbox_executions, runner.store_hits
+            results, failures, seconds = evaluate_with_retries(
+                runner,
+                shard,
+                label=shard_label(shard),
+                max_attempts=self.max_attempts,
+                backoff_base=self.poll_interval,
+            )
+            report.sandbox_executions += runner.sandbox_executions - executions
+            report.verdict_store_hits += runner.store_hits - hits
+            if results is not None:
+                yield ShardOutcome(entry, results, "inline", seconds)
             else:
                 yield ShardQuarantine(entry, len(failures), failures[-1])
 

@@ -29,6 +29,12 @@ Sub-commands
                on any host that mounts the queue to contribute cycles to a
                ``dispatch --backend file-queue``.  ``--poll SECONDS`` keeps
                the worker waiting (with backoff) for late-published tasks.
+``serve``      Run the long-lived evaluation service: a JSON-RPC 2.0 server
+               (newline-delimited JSON over TCP) accepting ``submit`` from
+               many concurrent clients and streaming per-cell ``progress``
+               and per-shard ``shard`` events as evaluation lands.  See
+               ``docs/protocol.md`` for the wire format and
+               ``python -m repro.service.client`` for the matching client.
 ``lint``       Run the CUDA-C static hazard analyzer over the corpus'
                embedded kernels and print the per-kernel findings
                (``--mutations`` adds the mutated variants, where the
@@ -238,6 +244,43 @@ def build_parser() -> argparse.ArgumentParser:
         "long, instead of exiting the moment it looks empty",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the long-lived JSON-RPC 2.0 evaluation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=7349, help="TCP port (0 picks a free port; default 7349)"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="default shard count per experiment (default 4)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bound of the request queue (queued + running experiments); a submit "
+        "beyond it is refused with the queue-full error (default 8)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent experiment workers (default 2)"
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="failed attempts before a shard is quarantined (default 3)",
+    )
+    serve.add_argument(
+        "--result-store",
+        default=None,
+        metavar="PATH",
+        help="persist completed shard payloads at PATH so a restarted server "
+        "resumes re-submitted specs with zero re-executed shards; 'auto' for "
+        "the default location",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="static hazard findings for the corpus' embedded CUDA-C kernels",
@@ -438,6 +481,13 @@ def _cmd_dispatch(args: argparse.Namespace, session) -> int:
             f"merged {merged} cells from {len(report.outcomes)} surviving shard(s) "
             f"(--allow-partial; {len(report.quarantined)} quarantined)"
         )
+        # Name the holes, not just their count: the ids below are what a
+        # targeted re-dispatch or a queue post-mortem starts from.
+        labels = ", ".join(
+            f"s{q.entry.seed}-{q.entry.start:05d}-{q.entry.stop:05d}"
+            for q in report.quarantined
+        )
+        print(f"degraded: quarantined shard(s) missing from the merge: {labels}", file=sys.stderr)
         if results is not None:
             if args.json:
                 print(f"wrote {save_records_json(results, args.json)}")
@@ -463,6 +513,43 @@ def _cmd_dispatch_worker(args: argparse.Namespace, session) -> int:
         poll=args.poll,
     )
     print(f"dispatch-worker: evaluated {executed} task(s) from {args.queue}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, session) -> int:
+    import asyncio
+
+    from repro.service.protocol import PROTOCOL_VERSION
+    from repro.service.server import EvaluationServer
+
+    server = EvaluationServer(
+        args.host,
+        args.port,
+        shards=args.shards,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        result_store=True if args.result_store == "auto" else args.result_store,
+        verdict_store=session.verdict_store,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        # Printed after the bind so --port 0 reports the actual port; the
+        # smoke jobs and humans alike scrape this line.
+        print(
+            f"serving JSON-RPC 2.0 on {server.host}:{server.port} "
+            f"(protocol {PROTOCOL_VERSION})",
+            flush=True,
+        )
+        if server.result_store is not None:
+            print(f"result store: {server.result_store.path}", file=sys.stderr)
+        await server.wait_closed()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -545,6 +632,7 @@ def main(argv: list[str] | None = None) -> int:
         "merge": _cmd_merge,
         "dispatch": _cmd_dispatch,
         "dispatch-worker": _cmd_dispatch_worker,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "cache": _cmd_cache,
     }

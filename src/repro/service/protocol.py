@@ -1,0 +1,138 @@
+"""The wire protocol of the evaluation service: JSON-RPC 2.0 over NDJSON.
+
+One TCP connection carries newline-delimited JSON: every line is exactly
+one JSON-RPC 2.0 message, serialised compactly with sorted keys
+(:func:`encode`), so a transcript of a deterministic interaction is
+byte-stable and can be pinned in golden files.  Three message shapes exist
+(the Godoty protocol's request/response/event split):
+
+* **Requests** carry ``id`` and ``method``; the server answers each with
+  exactly one response echoing the ``id`` verbatim.
+* **Responses** carry the matching ``id`` plus either ``result`` or
+  ``error`` (never both).
+* **Events** (server→client notifications) carry ``method`` and ``params``
+  but no ``id``; no reply is expected.
+
+The protocol is versioned through the ``hello`` handshake: the client's
+``protocol_version`` must equal :data:`PROTOCOL_VERSION` exactly, or the
+server refuses with :data:`ERR_VERSION_MISMATCH` — wire-format evolution is
+a version bump, never a silent behaviour change.
+
+Error codes follow JSON-RPC 2.0: the reserved codes for envelope failures
+(:data:`PARSE_ERROR` … :data:`INVALID_PARAMS`) and implementation-defined
+codes in the ``-32000`` range for service states (version mismatch, missing
+handshake, queue full, unknown experiment, …).  See ``docs/protocol.md``
+for the full method/event/error tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "ERR_HANDSHAKE_REQUIRED",
+    "ERR_NOT_FINISHED",
+    "ERR_QUEUE_FULL",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNKNOWN_EXPERIMENT",
+    "ERR_VERSION_MISMATCH",
+    "INTERNAL_ERROR",
+    "INVALID_PARAMS",
+    "INVALID_REQUEST",
+    "JSONRPC_VERSION",
+    "METHOD_NOT_FOUND",
+    "PARSE_ERROR",
+    "PROTOCOL_VERSION",
+    "SERVER_NAME",
+    "ServiceError",
+    "encode",
+    "error_response",
+    "notification",
+    "request",
+    "response",
+]
+
+#: The JSON-RPC envelope version every message must carry.
+JSONRPC_VERSION = "2.0"
+
+#: Version negotiated by the ``hello`` handshake.  Bump on any change to
+#: the method table, event payloads or error codes; old clients are then
+#: refused explicitly instead of misparsing the stream.
+PROTOCOL_VERSION = "1.0"
+
+#: Server identity reported by the handshake.
+SERVER_NAME = "repro-hpc-codex"
+
+# -- reserved JSON-RPC 2.0 error codes ---------------------------------------
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+# -- implementation-defined codes (-32000..-32099, per the JSON-RPC spec) ----
+#: ``hello`` carried a protocol version the server does not speak.
+ERR_VERSION_MISMATCH = -32001
+#: A method other than ``hello`` arrived before the handshake completed
+#: (or ``hello`` arrived twice).
+ERR_HANDSHAKE_REQUIRED = -32002
+#: The bounded request queue is full; the submit was rejected, not buffered.
+ERR_QUEUE_FULL = -32003
+#: The experiment id is unknown *to this client session* (isolation: other
+#: sessions' experiments are indistinguishable from nonexistent ones).
+ERR_UNKNOWN_EXPERIMENT = -32004
+#: ``result`` was called before the experiment reached a terminal state.
+ERR_NOT_FINISHED = -32005
+#: The server is draining for shutdown and accepts no new work.
+ERR_SHUTTING_DOWN = -32006
+
+
+class ServiceError(Exception):
+    """A typed protocol error: carried as a JSON-RPC error object.
+
+    Raised inside method handlers (server side) and re-raised from error
+    responses (client side); ``data`` is an optional JSON-serialisable
+    payload with machine-readable detail.
+    """
+
+    def __init__(self, code: int, message: str, data: Any = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.data = data
+
+    def to_payload(self) -> dict:
+        error: dict = {"code": self.code, "message": self.message}
+        if self.data is not None:
+            error["data"] = self.data
+        return error
+
+
+def encode(message: dict) -> bytes:
+    """One wire line: compact JSON, sorted keys, trailing newline.
+
+    Compact separators and key sorting make the serialisation canonical —
+    the same message object always produces the same bytes, which is what
+    lets the conformance suite pin transcripts byte-for-byte.
+    """
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def request(method: str, params: dict | None, id: Any) -> dict:
+    message: dict = {"jsonrpc": JSONRPC_VERSION, "method": method, "id": id}
+    if params is not None:
+        message["params"] = params
+    return message
+
+
+def response(id: Any, result: Any) -> dict:
+    return {"jsonrpc": JSONRPC_VERSION, "id": id, "result": result}
+
+
+def error_response(id: Any, error: ServiceError) -> dict:
+    return {"jsonrpc": JSONRPC_VERSION, "id": id, "error": error.to_payload()}
+
+
+def notification(method: str, params: dict) -> dict:
+    return {"jsonrpc": JSONRPC_VERSION, "method": method, "params": params}

@@ -474,3 +474,32 @@ class TestCliDegradation:
         assert "InjectedCrash" in captured.err
         written = json.loads(out.read_text())
         assert written == surviving_subset(spec, expected_records, {0})
+
+    def test_allow_partial_names_quarantined_shards_on_stderr(
+        self, monkeypatch, capsys
+    ):
+        """The exit-4 path must name every hole in the merge, not just
+        count them: the stderr summary lists the quarantined shard ids."""
+        from repro.harness.cli import main
+
+        monkeypatch.setenv(
+            faults.FAULTS_ENV,
+            '[{"point": "worker.evaluate", "action": "crash", "match": "-00000-"},'
+            ' {"point": "worker.evaluate", "action": "crash", "match": "-00012-"}]',
+        )
+        faults.reset()
+        assert (
+            main(
+                [
+                    "dispatch", "--shards", "4", "--languages", "julia",
+                    "--max-attempts", "2", "--allow-partial",
+                ]
+            )
+            == 4
+        )
+        captured = capsys.readouterr()
+        assert "quarantined shard(s) missing from the merge" in captured.err
+        assert f"s{DEFAULT_SEED}-00000-00006" in captured.err
+        assert f"s{DEFAULT_SEED}-00012-00018" in captured.err
+        # Surviving shards are not accused.
+        assert f"s{DEFAULT_SEED}-00006-00012" not in captured.err
