@@ -1,0 +1,88 @@
+"""Remote-cache smoke: a shared ``cache-server`` must warm a cold machine
+to zero sandbox executions with byte-identical records, and an unreachable
+server must degrade to recompute — never wedge or change a record.
+
+Three end-to-end scenarios over the python-language grid (CI runs the
+CLI-level equivalent as the ``cache-remote-smoke`` job; locally::
+
+    PYTHONPATH=src python benchmarks/bench_cache_remote.py
+
+):
+
+1. **Cold populate** — a session on "machine A" (empty local store, empty
+   server) evaluates the grid and publishes every verdict to the remote.
+2. **Warm from remote** — a session on "machine B" (empty local store,
+   *same* server) reproduces the records byte-identically with **zero**
+   sandbox executions, every verdict read through from the remote, and
+   reports the cold/warm wall-clock ratio.
+3. **Remote down** — the server is gone; a third cold session pointed at
+   the dead URL still completes with identical records by recomputing.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.analyzer import clear_verdict_memo  # noqa: E402
+from repro.analysis.store import VerdictStore  # noqa: E402
+from repro.api import Session  # noqa: E402
+from repro.cache.backends import RemoteBackend  # noqa: E402
+from repro.cache.server import CacheServer  # noqa: E402
+from repro.codex.config import DEFAULT_SEED  # noqa: E402
+
+LANGUAGE = "python"  # the only language whose analysis pays for a sandbox
+
+
+def evaluate(store_dir: Path, url: str):
+    clear_verdict_memo()  # each scenario simulates a fresh process/machine
+    # Attach the remote tier the way the CLI's --cache-url does, but
+    # explicitly, so a stray $REPRO_CACHE_URL cannot leak in.  The dead-URL
+    # scenario gets a short timeout so degradation fails fast, not at 3s.
+    remote = RemoteBackend(url, namespace="verdicts", timeout=0.5)
+    store = VerdictStore(store_dir, remote=remote)
+    started = time.perf_counter()
+    with Session(seed=DEFAULT_SEED, verdict_store=store) as session:
+        records = session.language_results(LANGUAGE).to_records()
+        executions = session.sandbox_executions
+        hits = session.store_hits
+    return records, executions, hits, time.perf_counter() - started
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        server = CacheServer(workdir / "served", port=0).start()
+        try:
+            cold, cold_exec, _, cold_s = evaluate(workdir / "machine-a", server.url)
+            assert cold_exec > 0, "cold run must execute sandbox modules"
+            served = server.stats()["namespaces"]["verdicts"]["entries"]
+            assert served > 0, "cold run must populate the remote"
+            print(f"cache-remote: cold run published {served} verdicts in {cold_s:.2f}s")
+
+            warm, warm_exec, warm_hits, warm_s = evaluate(workdir / "machine-b", server.url)
+            assert warm == cold, "warm-from-remote records differ from the cold run"
+            assert warm_exec == 0, f"warm-from-remote executed {warm_exec} modules"
+            assert warm_hits > 0, "warm run reported no store hits"
+            print(
+                f"cache-remote: warm-from-remote run on a cold disk: "
+                f"0 sandbox executions, {warm_hits} hits, "
+                f"{cold_s / warm_s:.1f}x faster ({warm_s:.2f}s)"
+            )
+        finally:
+            server.close()
+
+        degraded, degraded_exec, _, _ = evaluate(workdir / "machine-c", "http://127.0.0.1:9")
+        assert degraded == cold, "remote-down degradation changed the records"
+        assert degraded_exec > 0, "remote-down run should have recomputed"
+        print("cache-remote: unreachable server degraded to recompute, records identical")
+    print("cache-remote: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,19 +15,28 @@ The durable-layer mechanics live in :class:`ContentStore`, which is shared
 with the shard-level :class:`~repro.dispatch.store.ResultStore`:
 
 * **Content-hashed entries.**  Each key is digested (SHA-256 over the schema
-  version and all key fields) into a file name under a two-level fanout
-  directory, so lookups are a single ``open`` and the store scales to
-  hundreds of thousands of entries.
+  version and all key fields) into a content address, so lookups are a
+  single ``open`` and the store scales to hundreds of thousands of entries.
+* **Pluggable backends.**  Where the bytes live is a
+  :mod:`repro.cache.backends` concern: a local fanout directory by default,
+  tiered with a shared HTTP remote (the ``cache-server`` subcommand) when
+  ``remote=`` or ``$REPRO_CACHE_URL`` names one — a fleet of workers then
+  shares every verdict any of them computed, read through a local cache.
 * **Versioned schema.**  Entries carry their schema version both in the
   digest and in the payload; bumping the version orphans old entries, which
   degrade to recompute — never to a wrong value.
 * **Atomic, durable, race-safe writes.**  Entries are published through the
-  shared fsync-before-replace writer (:func:`repro.atomicio.write_atomic_json`);
+  shared fsync-before-replace writer (:func:`repro.atomicio.write_atomic_bytes`);
   two writers racing on one key both write the same deterministic value and
   the last rename wins.  Corrupt or truncated entries (killed writer,
   foreign bytes) are detected on read, dropped, and recomputed.
-* **Fail-soft.**  Store I/O errors never propagate into analysis; the worst
-  case is always "compute it again".
+* **Fail-soft.**  Store I/O errors and unreachable remotes never propagate
+  into analysis; the worst case is always "compute it again".
+* **Operational surface.**  :meth:`ContentStore.stats` reports entry
+  counts, this instance's hit/miss/write traffic and per-backend latency
+  counters; :meth:`ContentStore.compact` evicts entries from a stale
+  analysis generation or past an age bound; ``$REPRO_CACHE_READONLY``
+  (or ``readonly=True``) serves lookups but never writes — the CI knob.
 
 Example:
 
@@ -53,10 +62,18 @@ import hashlib
 import json
 import os
 import threading
+import time
 from pathlib import Path
 
 from repro.analysis.verdict import ANALYSIS_VERSION, SuggestionVerdict
-from repro.atomicio import write_atomic_json
+from repro.cache.backends import (
+    LocalBackend,
+    RemoteBackend,
+    TieredBackend,
+    env_flag,
+    remote_url_from_env,
+)
+from repro.cache.backends import ENV_READONLY as _ENV_READONLY
 
 __all__ = [
     "STORE_SCHEMA",
@@ -98,39 +115,74 @@ def _default_cache_path(env_var: str, subdir: str) -> Path:
 class ContentStore:
     """Shared core of the on-disk content-addressed stores.
 
-    Owns everything the durable caches have in common — the two-level
-    fanout layout, atomic ``os.replace`` publication, corrupt-entry
-    dropping, fail-soft writes, hit/miss/write counters and the
-    ``stats``/``clear`` maintenance surface.  Subclasses define what a key
-    is (:meth:`digest`) and how an entry payload is validated back into a
-    value; the corruption/versioning guarantees then hold for every store
-    built on this core (:class:`VerdictStore` here,
+    Owns everything the durable caches have in common — content-addressed
+    keying, corrupt-entry dropping, fail-soft writes, hit/miss/write
+    counters and the ``stats``/``clear``/``compact`` maintenance surface —
+    while delegating byte storage to a :mod:`repro.cache.backends` backend:
+    a :class:`~repro.cache.backends.LocalBackend` fanout directory at
+    ``path``, tiered with a shared :class:`~repro.cache.backends.RemoteBackend`
+    when ``remote`` (or ``$REPRO_CACHE_URL``) names a ``cache-server``.
+    Subclasses define what a key is (:meth:`digest`), how an entry payload
+    is validated back into a value, and their remote namespace; the
+    corruption/versioning guarantees then hold for every store built on
+    this core (:class:`VerdictStore` here,
     :class:`repro.dispatch.store.ResultStore` for whole shard payloads).
 
+    ``readonly`` (default: ``$REPRO_CACHE_READONLY``) serves lookups but
+    swallows every write — no new entries, no read-through fills — and makes
+    ``clear``/``compact`` refuse; CI jobs use it to guarantee a published
+    cache is consumed verbatim.
+
     ``hits``/``misses``/``writes`` count this instance's traffic only; the
-    directory itself is shared state.
+    backend storage itself is shared state.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    #: Namespace separating this store's digests from other stores sharing
+    #: one ``cache-server`` (subclasses override).
+    remote_namespace = "cache"
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        remote: "RemoteBackend | str | None" = None,
+        readonly: bool | None = None,
+    ) -> None:
+        self.readonly = env_flag(_ENV_READONLY) if readonly is None else bool(readonly)
         self.path = Path(path)
-        self.path.mkdir(parents=True, exist_ok=True)
+        local = LocalBackend(self.path, create=not self.readonly)
+        if remote is None:
+            remote = remote_url_from_env()
+        if isinstance(remote, str):
+            remote = RemoteBackend(remote, namespace=self.remote_namespace)
+        self.remote = remote
+        self.backend = (
+            local if remote is None else TieredBackend(local, remote, readonly=self.readonly)
+        )
         self.hits = 0
         self.misses = 0
         self.writes = 0
-        #: Digests known to exist on disk (avoids re-stat/re-write churn).
+        #: Digests known to exist in the backend (avoids re-stat/re-write
+        #: churn).  A *positive* cache only, and only trustworthy until the
+        #: next miss: any miss drops the digest again so an external
+        #: ``clear()``/compaction cannot permanently suppress re-persistence.
         self._known: set[str] = set()
         #: Guards the counters/_known so thread-backend runs count exactly.
         self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"{type(self).__name__}({str(self.path)!r}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        return f"{type(self).__name__}({str(self.path)!r}, hits={hits}, misses={misses})"
 
     def _schema(self) -> int:
         """The live schema version (read per call so test monkeypatching of
         the module-level constant takes effect)."""
+        raise NotImplementedError
+
+    def _analysis_version(self) -> int:
+        """The live analysis generation, as tagged into entry payloads;
+        :meth:`compact` evicts entries from any other generation."""
         raise NotImplementedError
 
     def _entry_path(self, digest: str) -> Path:
@@ -143,30 +195,35 @@ class ContentStore:
         ``validate`` receives the parsed JSON payload and returns the cached
         value, raising ``ValueError``/``KeyError``/``TypeError`` when the
         payload does not belong to the requested key.  Truncated, unparsable,
-        schema-mismatched or key-mismatched entries are removed (best-effort)
-        and reported as misses, so every failure mode degrades to recompute.
+        schema-mismatched or key-mismatched entries are dropped (best-effort,
+        local layer only) and reported as misses, so every failure mode —
+        including an unreachable remote — degrades to recompute.
+
+        Every miss also forgets the digest in ``_known``: the entry may have
+        been cleared or evicted externally since this instance last saw it,
+        and a stale positive would make :meth:`_store_entry` skip the
+        re-persist forever.
         """
-        path = self._entry_path(digest)
-        try:
-            value = validate(json.loads(path.read_text("utf-8")))
-        except OSError:
-            # Absent entry, or a transient read failure (EIO, stale NFS
-            # handle, ...): a plain miss.  Never unlink here — on a shared
-            # store a transient error must not destroy a valid entry for
-            # every other reader.
+        data = self.backend.get(digest)
+        if data is None:
+            # Absent entry, transient read failure (EIO, stale NFS handle),
+            # or the remote is down: a plain miss.  The entry is never
+            # destroyed on a read error — on a shared store a transient
+            # failure must not delete a valid entry for every other reader.
             with self._lock:
                 self.misses += 1
+                self._known.discard(digest)
             return None
+        try:
+            value = validate(json.loads(data))
         except (ValueError, KeyError, TypeError):
             # The bytes were read but do not parse/validate: the entry
             # itself is corrupt (truncated writer, old schema, foreign
-            # file) — drop it so the next writer replaces it.
+            # file) — drop the local copy so the next writer replaces it.
             with self._lock:
                 self.misses += 1
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
+                self._known.discard(digest)
+            self.backend.discard(digest)
             return None
         with self._lock:
             self.hits += 1
@@ -176,25 +233,26 @@ class ContentStore:
     def _store_entry(self, digest: str, payload: dict) -> None:
         """Persist one entry (idempotent; failures are swallowed).
 
-        Publication goes through the shared fsync-before-replace writer
-        (:func:`repro.atomicio.write_atomic_json`): readers never observe
-        partial writes, racing writers cannot interleave, and a power loss
-        cannot leave an empty-but-renamed entry behind.
+        The payload is serialised once to canonical bytes
+        (``sort_keys=True`` — stable for byte-identity checks) and published
+        by the backend through the shared fsync-before-replace writer:
+        readers never observe partial writes, racing writers cannot
+        interleave, and a power loss cannot leave an empty-but-renamed
+        entry behind.  In read-only mode this is a no-op.
         """
+        if self.readonly:
+            return
         with self._lock:
             if digest in self._known:
                 return
-        path = self._entry_path(digest)
-        if path.exists():
+        if self.backend.exists(digest):
             with self._lock:
                 self._known.add(digest)
             return
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            write_atomic_json(path, payload)
-        except OSError:
-            # Full disk / permissions / store directory gone: the caller
-            # must never fail because the cache could not be written.
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if not self.backend.put(digest, data):
+            # Full disk / permissions / remote down: the caller must never
+            # fail because the cache could not be written.
             return
         with self._lock:
             self._known.add(digest)
@@ -208,7 +266,7 @@ class ContentStore:
         return sum(1 for _ in self._entry_files())
 
     def stats(self) -> dict:
-        """Directory-wide entry count/size plus this instance's traffic."""
+        """Local entry count/size, this instance's traffic, backend counters."""
         entries = 0
         size = 0
         for entry in self._entry_files():
@@ -217,18 +275,26 @@ class ContentStore:
                 size += entry.stat().st_size
             except OSError:  # pragma: no cover - concurrent clear
                 pass
+        with self._lock:
+            hits, misses, writes = self.hits, self.misses, self.writes
         return {
             "path": str(self.path),
             "schema": self._schema(),
+            "readonly": self.readonly,
             "entries": entries,
             "bytes": size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
+            "hits": hits,
+            "misses": misses,
+            "writes": writes,
+            "backend": self.backend.counters(),
         }
 
     def clear(self) -> int:
-        """Remove every entry (and leftover temp file); returns entries removed."""
+        """Remove every local entry (and leftover temp file); returns entries
+        removed.  Local layer only — a shared remote is never mass-deleted
+        from a client.  Refuses in read-only mode."""
+        if self.readonly:
+            raise RuntimeError("store is read-only (REPRO_CACHE_READONLY)")
         removed = 0
         for entry in self._entry_files():
             try:
@@ -245,6 +311,61 @@ class ContentStore:
             self._known.clear()
         return removed
 
+    def compact(self, *, max_age: float | None = None, now: float | None = None) -> dict:
+        """Evict local entries that can no longer (or should no longer) hit.
+
+        Two eviction rules, both safe by the degradation contract (an entry
+        removed here at worst recomputes):
+
+        * **Stale analysis generation** — the payload's ``"analysis"`` tag
+          differs from the live :meth:`_analysis_version` (entries written
+          before the tag existed count as stale).  Such entries are already
+          unreachable through :meth:`get` because the digest folds the
+          version in; compaction reclaims the dead bytes.  Unparsable
+          entries are evicted under the same rule.
+        * **Age** — with ``max_age`` (seconds), entries whose mtime is older
+          than ``now - max_age``.
+
+        Local layer only; a shared remote is compacted by running this
+        against its served directory.  Refuses in read-only mode.  Returns
+        ``{"removed_stale", "removed_aged", "kept"}``.
+        """
+        if self.readonly:
+            raise RuntimeError("store is read-only (REPRO_CACHE_READONLY)")
+        if now is None:
+            now = time.time()
+        live = self._analysis_version()
+        removed_stale = 0
+        removed_aged = 0
+        kept = 0
+        for entry in self._entry_files():
+            stale = False
+            try:
+                payload = json.loads(entry.read_bytes())
+                stale = payload.get("analysis") != live
+            except (OSError, ValueError, TypeError, AttributeError):
+                stale = True
+            aged = False
+            if not stale and max_age is not None:
+                try:
+                    aged = entry.stat().st_mtime < now - max_age
+                except OSError:  # pragma: no cover - concurrent clear
+                    continue
+            if not (stale or aged):
+                kept += 1
+                continue
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - concurrent clear
+                continue
+            removed_stale += stale
+            removed_aged += not stale
+        # Everything this instance "knew" may just have been evicted; the
+        # next put re-checks the backend (and re-persists on a miss).
+        with self._lock:
+            self._known.clear()
+        return {"removed_stale": removed_stale, "removed_aged": removed_aged, "kept": kept}
+
 
 class VerdictStore(ContentStore):
     """On-disk verdict cache, safe for concurrent readers and writers.
@@ -252,17 +373,28 @@ class VerdictStore(ContentStore):
     Parameters
     ----------
     path:
-        Directory holding the entries (created if missing).  Any number of
-        processes may share it.
+        Directory holding the local entries (created if missing).  Any
+        number of processes may share it.
+    remote:
+        Optional shared ``cache-server`` URL (or a prebuilt
+        :class:`~repro.cache.backends.RemoteBackend`); defaults to
+        ``$REPRO_CACHE_URL`` so subprocess workers rebuilt from a bare path
+        inherit the remote tier.
+    readonly:
+        Serve lookups but never write; defaults to ``$REPRO_CACHE_READONLY``.
     """
+
+    remote_namespace = "verdicts"
 
     @classmethod
     def coerce(cls, value: "VerdictStore | str | Path | bool | None") -> "VerdictStore | None":
         """Normalise every accepted store argument to a store (or ``None``).
 
         ``None``/``False`` → no store; ``True`` → a store at
-        :func:`default_store_path`; a path → a store there; a store → itself.
-        The single construction point for Session/runner/analyzer wiring.
+        :func:`default_store_path`; an ``http(s)://`` URL → a store at the
+        default path tiered with that remote; a path → a store there; a
+        store → itself.  The single construction point for
+        Session/runner/analyzer wiring.
         """
         if value is None or value is False:
             return None
@@ -270,10 +402,15 @@ class VerdictStore(ContentStore):
             return cls(default_store_path())
         if isinstance(value, cls):
             return value
+        if isinstance(value, str) and value.startswith(("http://", "https://")):
+            return cls(default_store_path(), remote=value)
         return cls(value)
 
     def _schema(self) -> int:
         return STORE_SCHEMA
+
+    def _analysis_version(self) -> int:
+        return ANALYSIS_VERSION
 
     # -- keying ---------------------------------------------------------------
     @staticmethod
@@ -302,6 +439,7 @@ class VerdictStore(ContentStore):
         """Persist a verdict (idempotent, atomic, fail-soft)."""
         payload = {
             "schema": STORE_SCHEMA,
+            "analysis": ANALYSIS_VERSION,
             "language": key[1],
             "kernel": key[2],
             "model": key[3],

@@ -13,7 +13,12 @@ A ``Session`` owns everything the legacy free functions in
 * an optional persistent verdict store (``verdict_store=``), shared by every
   runner and process-backend worker the session creates, so repeated runs —
   even from new processes — skip sandbox execution for suggestions any
-  earlier run already analyzed.
+  earlier run already analyzed.  With ``$REPRO_CACHE_URL`` set (or the CLI's
+  ``--cache-url``), every store additionally reads through a shared
+  ``cache-server`` remote and publishes fresh entries back — a warm remote
+  fills a cold local disk with zero sandbox executions, and an unreachable
+  remote degrades to recompute.  ``$REPRO_CACHE_READONLY`` serves lookups
+  but never writes (the CI knob).
 
 ``session.table(2)``, ``session.figure(4)``, ``session.ablation("keywords")``
 reproduce the paper artefacts; ``session.run(spec_or_shard)`` evaluates a
@@ -76,9 +81,13 @@ class Session:
         process-backend worker) this session creates.  Pass ``True`` for the
         default cache directory (:func:`repro.analysis.store.default_store_path`,
         ``$REPRO_VERDICT_STORE`` / ``~/.cache/repro-hpc-codex/verdicts``), a
-        path for an explicit location, or an existing
-        :class:`~repro.analysis.store.VerdictStore`.  ``None`` (default)
-        keeps verdicts process-local.
+        path for an explicit location, an ``http(s)://`` cache-server URL
+        (a store at the default path tiered with that remote), or an
+        existing :class:`~repro.analysis.store.VerdictStore`.  ``None``
+        (default) keeps verdicts process-local.  Stores honour
+        ``$REPRO_CACHE_URL`` (shared remote tier) and
+        ``$REPRO_CACHE_READONLY`` (lookups only, never writes) at
+        construction.
     """
 
     def __init__(

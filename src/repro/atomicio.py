@@ -22,7 +22,7 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["write_atomic_json"]
+__all__ = ["write_atomic_bytes", "write_atomic_json"]
 
 
 def write_atomic_json(
@@ -35,7 +35,21 @@ def write_atomic_json(
     """Publish ``payload`` as JSON at ``path`` atomically and durably.
 
     The document is serialised with ``sort_keys=True`` (stable bytes for
-    byte-identity checks), written to a unique temporary file in the target
+    byte-identity checks) and published through :func:`write_atomic_bytes`.
+    """
+    data = json.dumps(payload, indent=indent, sort_keys=True).encode("utf-8")
+    write_atomic_bytes(path, data, durable=durable)
+
+
+def write_atomic_bytes(
+    path: str | Path,
+    data: bytes,
+    *,
+    durable: bool = True,
+) -> None:
+    """Publish ``data`` at ``path`` atomically and durably.
+
+    The bytes are written to a unique temporary file in the target
     directory, flushed and fsynced, then published with ``os.replace``.
     With ``durable=True`` (the default) the containing directory is fsynced
     as well, best-effort, so a power loss cannot leave an empty-but-renamed
@@ -46,16 +60,15 @@ def write_atomic_json(
     """
     path = Path(path)
     handle = tempfile.NamedTemporaryFile(
-        "w",
+        "wb",
         dir=path.parent,
         prefix=f".{path.stem}.",
         suffix=".tmp",
         delete=False,
-        encoding="utf-8",
     )
     try:
         with handle:
-            handle.write(json.dumps(payload, indent=indent, sort_keys=True))
+            handle.write(data)
             handle.flush()
             if durable:
                 os.fsync(handle.fileno())

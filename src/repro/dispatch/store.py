@@ -13,10 +13,13 @@ directory) skips every shard an earlier run already completed, and the warm
 path reproduces the unsharded records byte-for-byte.
 
 Both stores share :class:`~repro.analysis.store.ContentStore` — the same
-two-level fanout layout, atomic ``os.replace`` publication, corrupt-entry
-dropping and fail-soft writes — so every degradation guarantee of the
-verdict store (truncation, foreign bytes, schema or analysis-version bumps
-→ recompute, never a wrong result) holds for shard payloads too.
+pluggable backends (local fanout directory; tiered with a shared
+``cache-server`` remote via ``remote=``/``$REPRO_CACHE_URL``, under the
+``results`` namespace), atomic publication, corrupt-entry dropping,
+fail-soft writes, read-only mode and ``compact`` eviction — so every
+degradation guarantee of the verdict store (truncation, foreign bytes,
+schema or analysis-version bumps, unreachable remote → recompute, never a
+wrong result) holds for shard payloads too.
 
 Example:
 
@@ -75,13 +78,16 @@ class ResultStore(ContentStore):
     fresh evaluation would.
     """
 
+    remote_namespace = "results"
+
     @classmethod
     def coerce(cls, value: "ResultStore | str | Path | bool | None") -> "ResultStore | None":
         """Normalise every accepted store argument to a store (or ``None``).
 
         ``None``/``False`` → no store (dispatch runs, but nothing survives
         the process); ``True`` → a store at :func:`default_result_store_path`;
-        a path → a store there; a store → itself.
+        an ``http(s)://`` URL → a store at the default path tiered with that
+        remote; a path → a store there; a store → itself.
         """
         if value is None or value is False:
             return None
@@ -89,10 +95,15 @@ class ResultStore(ContentStore):
             return cls(default_result_store_path())
         if isinstance(value, cls):
             return value
+        if isinstance(value, str) and value.startswith(("http://", "https://")):
+            return cls(default_result_store_path(), remote=value)
         return cls(value)
 
     def _schema(self) -> int:
         return RESULT_STORE_SCHEMA
+
+    def _analysis_version(self) -> int:
+        return ANALYSIS_VERSION
 
     # -- keying ---------------------------------------------------------------
     @staticmethod

@@ -39,8 +39,19 @@ Sub-commands
                embedded kernels and print the per-kernel findings
                (``--mutations`` adds the mutated variants, where the
                hazards live; ``--hazards-only`` filters the listing).
-``cache``      Inspect (``stats``) or empty (``clear``) the persistent
-               verdict store.
+``cache``      Inspect (``stats``), empty (``clear``) or evict stale/aged
+               entries from (``compact``) a persistent store — the verdict
+               store by default, the shard-result store with
+               ``--result-store [PATH]``.
+``cache-server``
+               Serve a shared remote cache over HTTP: content-addressed
+               GET/PUT under ``/v1/<namespace>/<digest>``.  Every store
+               pointed at it (global ``--cache-url URL``, or
+               ``$REPRO_CACHE_URL``) reads through a local cache and
+               publishes fresh entries back, so a fleet computes each
+               verdict/shard once.  An unreachable server degrades to
+               recompute; ``$REPRO_CACHE_READONLY`` makes stores consume
+               a cache without ever writing (the CI knob).
 
 Every command drives a :class:`repro.api.Session`; a two-machine split of
 the full grid looks like::
@@ -66,6 +77,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -102,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="attach the persistent cross-process verdict cache at PATH; pass 'auto' "
         "for the default location ($REPRO_VERDICT_STORE or ~/.cache/repro-hpc-codex/verdicts)",
+    )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help="shared cache-server every store reads through and publishes to "
+        "(sets $REPRO_CACHE_URL, so subprocess workers inherit it); an "
+        "unreachable server degrades to recompute",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -299,8 +319,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only HAZARD findings (summary still counts everything)",
     )
 
-    cache = sub.add_parser("cache", help="inspect or clear the persistent verdict store")
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache = sub.add_parser(
+        "cache", help="inspect, clear or compact a persistent store"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "compact"])
+    cache.add_argument(
+        "--result-store",
+        dest="store",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="target the shard-result store instead of the verdict store; "
+        "without PATH, the default location ($REPRO_RESULT_STORE or "
+        "~/.cache/repro-hpc-codex/results)",
+    )
+    cache.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="compact only: also evict entries older than this "
+        "(stale-ANALYSIS_VERSION entries are always evicted)",
+    )
+
+    cache_server = sub.add_parser(
+        "cache-server", help="serve a shared remote cache over HTTP"
+    )
+    cache_server.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    cache_server.add_argument(
+        "--port", type=int, default=7350, help="TCP port (0 picks a free port; default 7350)"
+    )
+    cache_server.add_argument(
+        "--path",
+        default=None,
+        metavar="DIR",
+        help="served directory (default $REPRO_CACHE_SERVER_ROOT or "
+        "~/.cache/repro-hpc-codex/served)",
+    )
+    cache_server.add_argument(
+        "--readonly",
+        action="store_true",
+        help="refuse PUT/DELETE (serve an existing cache verbatim)",
+    )
 
     return parser
 
@@ -595,26 +658,76 @@ def _cmd_lint(args: argparse.Namespace, session) -> int:
     return 0
 
 
+def _print_store_stats(label: str, stats: dict) -> None:
+    print(f"{label} {stats['path']}")
+    for field in ("schema", "readonly", "entries", "bytes", "hits", "misses", "writes"):
+        print(f"  {field:8s} {stats[field]}")
+    backend = stats["backend"]
+    layers = (
+        [("local", backend["local"]), ("remote", backend["remote"])]
+        if backend["kind"] == "tiered"
+        else [(backend["kind"], backend)]
+    )
+    for name, counters in layers:
+        print(
+            f"  backend  {name}: gets={counters['gets']} get_hits={counters['get_hits']} "
+            f"puts={counters['puts']} errors={counters['errors']} seconds={counters['seconds']}"
+        )
+
+
 def _cmd_cache(args: argparse.Namespace, session) -> int:
     from repro.analysis.store import VerdictStore, default_store_path
+    from repro.dispatch.store import ResultStore
 
-    if args.action == "clear" and session.verdict_store is None:
-        # Deleting entries of the machine-wide default store must be an
-        # explicit decision, not a forgotten-flag accident.
-        raise SystemExit(
-            "cache clear requires --verdict-store (pass 'auto' to clear the "
-            f"default store at {default_store_path()})"
-        )
-    store = session.verdict_store or VerdictStore(default_store_path())
+    if args.store is not None:
+        # --result-store [PATH] targets the shard store; the flag itself is
+        # the explicit decision, so no further guard is needed.
+        store = ResultStore.coerce(True if args.store == "auto" else args.store)
+        label = "result store"
+    else:
+        if args.action in ("clear", "compact") and session.verdict_store is None:
+            # Deleting entries of the machine-wide default store must be an
+            # explicit decision, not a forgotten-flag accident.
+            raise SystemExit(
+                f"cache {args.action} requires --verdict-store (pass 'auto' to "
+                f"target the default store at {default_store_path()})"
+            )
+        store = session.verdict_store or VerdictStore(default_store_path())
+        label = "verdict store"
     if args.action == "stats":
-        stats = store.stats()
-        print(f"verdict store {stats['path']}")
-        print(f"  schema  {stats['schema']}")
-        print(f"  entries {stats['entries']}")
-        print(f"  bytes   {stats['bytes']}")
+        _print_store_stats(label, store.stats())
         return 0
-    removed = store.clear()
+    try:
+        if args.action == "compact":
+            outcome = store.compact(max_age=args.max_age)
+            print(
+                f"compacted {store.path}: removed {outcome['removed_stale']} stale, "
+                f"{outcome['removed_aged']} aged; kept {outcome['kept']}"
+            )
+            return 0
+        removed = store.clear()
+    except RuntimeError as exc:  # read-only mode refuses mutation
+        raise SystemExit(str(exc)) from exc
     print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {store.path}")
+    return 0
+
+
+def _cmd_cache_server(args: argparse.Namespace, session) -> int:
+    from repro.analysis.store import _default_cache_path
+    from repro.cache.server import CacheServer
+
+    root = args.path or _default_cache_path("REPRO_CACHE_SERVER_ROOT", "served")
+    server = CacheServer(root, host=args.host, port=args.port, readonly=args.readonly)
+    # Printed after the bind so --port 0 reports the actual port; the smoke
+    # jobs and humans alike scrape this line.
+    suffix = ", read-only" if server.readonly else ""
+    print(f"serving cache on {server.url} (path {server.root}{suffix})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -635,13 +748,21 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "lint": _cmd_lint,
         "cache": _cmd_cache,
+        "cache-server": _cmd_cache_server,
     }
     from repro.api.session import Session
 
+    if args.cache_url:
+        # Through the environment on purpose: process-backend workers,
+        # dispatch workers and the serve service all rebuild stores from a
+        # bare path and pick the remote tier up from $REPRO_CACHE_URL.
+        from repro.cache.backends import ENV_REMOTE_URL
+
+        os.environ[ENV_REMOTE_URL] = args.cache_url
     verdict_store = True if args.verdict_store == "auto" else args.verdict_store
     with Session(seed=args.seed, backend=args.backend, verdict_store=verdict_store) as session:
         status = handlers[args.command](args, session)
-        if session.verdict_store is not None and args.command != "cache":
+        if session.verdict_store is not None and args.command not in ("cache", "cache-server"):
             # Stderr so piped payloads (shard --out -, merge --json -) stay
             # clean; only O(1) counters — `cache stats` walks the directory.
             print(

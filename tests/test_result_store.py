@@ -185,11 +185,11 @@ class TestResultStoreDegradation:
         ResultStore(tmp_path).put(shard.entry(), results)
         entry = self._entry_file(tmp_path)
 
-        def flaky_read_text(self, *args, **kwargs):
+        def flaky_read_bytes(self, *args, **kwargs):
             raise OSError("Input/output error")
 
         reader = ResultStore(tmp_path)
-        monkeypatch.setattr(Path, "read_text", flaky_read_text)
+        monkeypatch.setattr(Path, "read_bytes", flaky_read_bytes)
         assert reader.get(shard.entry()) is None  # transient failure -> plain miss
         monkeypatch.undo()
         assert entry.exists()  # ... the shared entry was NOT destroyed

@@ -155,11 +155,11 @@ class TestStoreDegradation:
         VerdictStore(tmp_path).put(_key(), _verdict())
         entry = self._entry_file(tmp_path)
 
-        def flaky_read_text(self, *args, **kwargs):
+        def flaky_read_bytes(self, *args, **kwargs):
             raise OSError("Input/output error")
 
         reader = VerdictStore(tmp_path)
-        monkeypatch.setattr(Path, "read_text", flaky_read_text)
+        monkeypatch.setattr(Path, "read_bytes", flaky_read_bytes)
         assert reader.get(_key()) is None  # transient failure -> plain miss
         monkeypatch.undo()
         assert entry.exists()  # ... the shared entry was NOT destroyed
