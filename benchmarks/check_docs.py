@@ -1,0 +1,124 @@
+"""Docs link checker: fail on dangling intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for markdown links and images, and
+verifies that each intra-repo target resolves:
+
+* relative file links (``docs/api.md``, ``../README.md``) must point at an
+  existing file or directory;
+* anchor links (``api.md#statistical-sweeps``, ``#layer-diagram``) must
+  match a heading in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+  duplicates);
+* external links (``http(s)://``, ``mailto:``) are ignored — CI must not
+  depend on the network.
+
+Exit status 1 with one line per dangling link; 0 when the docs are clean.
+Run from the repo root:  python benchmarks/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: [text](target) — stops at the first unescaped ')'.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ATX headings, the only style the docs use.
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (ASCII subset: enough for this repo)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def _iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    for lineno, target in _iter_links(path):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        target_path, _, fragment = target.partition("#")
+        if target_path:
+            resolved = (path.parent / target_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(ROOT)}:{lineno}: dangling link {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment and resolved.suffix == ".md":
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = _anchors(resolved)
+            if fragment not in anchor_cache[resolved]:
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: dangling anchor {target!r}"
+                )
+    return errors
+
+
+#: The maintained documentation set.  Machine-generated context files at the
+#: repo root (PAPERS.md and friends) carry extraction artifacts and are not
+#: part of the docs contract.
+_DOC_ROOTS = ("README.md", "docs", "examples", "benchmarks", "src", "tests")
+
+
+def main() -> int:
+    docs: list[Path] = []
+    for root in _DOC_ROOTS:
+        path = ROOT / root
+        if path.is_file():
+            docs.append(path)
+        elif path.is_dir():
+            docs.extend(sorted(path.rglob("*.md")))
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    for path in docs:
+        errors.extend(check_file(path, anchor_cache))
+    for error in errors:
+        print(error)
+    print(f"checked {len(docs)} markdown file(s): {len(errors)} dangling link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,10 @@ def _detect_fortran(code: str) -> list[str]:
 
 def _detect_python(code: str) -> list[str]:
     found: list[str] = []
+    if "pykokkos" in code:
+        # Extension model (repro.extensions); the uid filter in
+        # detect_models drops it when the extended grid is not registered.
+        found.append("python.kokkos")
     if "cupy" in code or "import cupy" in code:
         found.append("python.cupy")
     if "pycuda" in code:

@@ -27,7 +27,12 @@ import re
 from repro.sandbox.cuda_c.parser import CudaSyntaxError, parse_cuda_source
 from repro.sandbox.cuda_c.static import analyze_kernel
 
-__all__ = ["static_findings_for", "extract_cuda_sources"]
+__all__ = [
+    "static_findings_for",
+    "extract_cuda_sources",
+    "register_profile",
+    "unregister_profile",
+]
 
 #: Triple-quoted literal passed to RawKernel(...) / SourceModule(...).
 _CUDA_SOURCE_RE = re.compile(
@@ -92,7 +97,49 @@ _PROFILES: dict[str, dict] = {
         "buffer_sizes": {"A": 100, "p": 10, "Ap": 10},
         "scalar_args": {"n": 10},
     },
+    # -- extension families (repro.extensions) ------------------------------
+    "scan": {
+        "require_all": ["threads = 256"],
+        "require_any": ["(n + threads - 1) // threads",
+                        "(x.size + threads - 1) // threads"],
+        "grid": (1, 1, 1),
+        "block": (256, 1, 1),
+        "buffer_sizes": {"x": 64, "out": 64},
+        "scalar_args": {"n": 64},
+    },
+    "histogram": {
+        "require_all": ["threads = 256"],
+        "require_any": ["(n + threads - 1) // threads",
+                        "(bins.size + threads - 1) // threads"],
+        "grid": (1, 1, 1),
+        "block": (256, 1, 1),
+        "buffer_sizes": {"bins": 64, "hist": 8},
+        "scalar_args": {"n": 64, "nbins": 8},
+    },
 }
+
+
+def register_profile(kernel: str, profile: dict) -> None:
+    """Register the launch-geometry profile for an extension kernel family.
+
+    Every kernel family whose suggestions can embed CUDA-C **must** have a
+    profile — :func:`static_findings_for` refuses to analyze an unknown
+    family rather than silently degrade its out-of-bounds verdicts (and its
+    hazard counts in the ``lint`` CLI and findings tables) to nothing.
+    """
+    required = {"require_all", "require_any", "grid", "block", "buffer_sizes", "scalar_args"}
+    missing = required - set(profile)
+    if missing:
+        raise ValueError(f"profile for {kernel!r} is missing keys: {sorted(missing)}")
+    existing = _PROFILES.get(kernel)
+    if existing is not None and existing != profile:
+        raise ValueError(f"kernel {kernel!r} already has a different geometry profile")
+    _PROFILES[kernel] = profile
+
+
+def unregister_profile(kernel: str) -> None:
+    """Remove an extension profile (idempotent)."""
+    _PROFILES.pop(kernel, None)
 
 
 def extract_cuda_sources(code: str) -> list[str]:
@@ -103,7 +150,13 @@ def extract_cuda_sources(code: str) -> list[str]:
 def _profile_for(kernel: str, code: str) -> dict:
     profile = _PROFILES.get(kernel)
     if profile is None:
-        return {}
+        # A family without a registered profile would silently lose every
+        # geometry-dependent verdict (the lint CLI and findings tables would
+        # report zero hazards for it).  Fail loudly instead.
+        raise KeyError(
+            f"no launch-geometry profile registered for kernel family {kernel!r}; "
+            "register one with repro.analysis.hazards.register_profile"
+        )
     if not all(fragment in code for fragment in profile["require_all"]):
         return {}
     if profile["require_any"] and not any(
@@ -126,6 +179,8 @@ def static_findings_for(code: str, language: str, kernel: str) -> list[dict]:
     Non-Python suggestions, suggestions without embedded CUDA, and sources
     the CUDA-C parser rejects yield no findings; an unexpected analysis
     error skips that kernel rather than failing the suggestion's verdict.
+    A kernel family with no registered geometry profile raises ``KeyError``
+    (see :func:`register_profile`).
     """
     if language != "python":
         return []

@@ -15,7 +15,7 @@ import builtins
 __all__ = ["check_structure", "find_entry_function", "undefined_call_names"]
 
 #: Module roots the sandbox knows how to provide.
-KNOWN_MODULE_ROOTS = {"numpy", "numba", "cupy", "pycuda", "math", "cupyx"}
+KNOWN_MODULE_ROOTS = {"numpy", "numba", "cupy", "pycuda", "math", "cupyx", "pykokkos"}
 
 
 def parse_or_none(code: str) -> ast.Module | None:

@@ -11,6 +11,9 @@ layering and determinism contract: ``docs/architecture.md``):
 * :class:`ExperimentSpec` / :class:`Shard` / :class:`ShardManifest` — the
   declarative, shardable description of a run and the manifest that
   validates partial results before merging.
+* :meth:`Session.sweep_seeds` / :func:`~repro.api.sweep.summarize_sweep` —
+  multi-seed statistical sweeps reporting mean and content-keyed bootstrap
+  CI per cell (:class:`~repro.api.sweep.SweepSummary`).
 * :class:`~repro.core.runner.ResultSet` (re-exported) with
   :meth:`~repro.core.runner.ResultSet.merge` and the
   ``to_payload``/``from_payload`` JSON round trip.
@@ -65,6 +68,7 @@ from repro.api.spec import (
     merge_shard_payloads,
     shard_payload,
 )
+from repro.api.sweep import CellStatistics, SweepSummary, summarize_sweep
 #: Names re-exported lazily from :mod:`repro.dispatch` (PEP 562): the
 #: dispatch layer imports ``repro.api.spec``, so importing it eagerly here
 #: would be circular whenever ``repro.dispatch`` is imported first.
@@ -102,6 +106,9 @@ __all__ = [
     "load_shard_payload",
     "merge_shard_parts",
     "merge_shard_payloads",
+    "CellStatistics",
+    "SweepSummary",
+    "summarize_sweep",
     "ResultSet",
     "RecordResult",
     "ExperimentReport",

@@ -411,6 +411,30 @@ class Session:
             return {spec.seeds[0]: results}
         return results
 
+    def sweep_seeds(
+        self,
+        seeds: Iterable[int],
+        *,
+        languages: Iterable[str] | None = None,
+        config: CodexConfig | None = None,
+        backend: str | None = None,
+        confidence: float = 0.95,
+        n_resamples: int = 1000,
+    ):
+        """Multi-seed statistical sweep: mean and bootstrap CI per cell.
+
+        Runs :meth:`sweep` over ``seeds`` and summarises each cell's score
+        distribution via :func:`repro.api.sweep.summarize_sweep`.  The
+        bootstrap is content-keyed per cell (deterministic, seed-order
+        invariant) and a single-seed sweep degrades exactly to the point
+        estimates of a plain run.  Returns a
+        :class:`~repro.api.sweep.SweepSummary`.
+        """
+        from repro.api.sweep import summarize_sweep
+
+        per_seed = self.sweep(seeds, languages=languages, config=config, backend=backend)
+        return summarize_sweep(per_seed, confidence=confidence, n_resamples=n_resamples)
+
     # -- paper artefacts ------------------------------------------------------
     def table(
         self,

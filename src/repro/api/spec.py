@@ -24,7 +24,7 @@ from typing import Iterable, Sequence
 
 from repro.codex.config import DEFAULT_SEED, CodexConfig
 from repro.core.runner import ResultSet
-from repro.kernels.registry import KERNEL_NAMES
+from repro.kernels.registry import kernel_names
 from repro.models.grid import ExperimentCell, experiment_grid
 from repro.models.languages import get_language, language_names
 from repro.models.programming_models import get_model
@@ -84,12 +84,13 @@ class ExperimentSpec:
                 self, "models", tuple(sorted({get_model(uid).uid for uid in self.models}))
             )
         if self.kernels is not None:
+            known = kernel_names()
             kernels = {kernel.lower() for kernel in self.kernels}
-            unknown = sorted(kernels - set(KERNEL_NAMES))
+            unknown = sorted(kernels - set(known))
             if unknown:
-                raise KeyError(f"unknown kernels {unknown}; choose from {KERNEL_NAMES}")
+                raise KeyError(f"unknown kernels {unknown}; choose from {known}")
             object.__setattr__(
-                self, "kernels", tuple(name for name in KERNEL_NAMES if name in kernels)
+                self, "kernels", tuple(name for name in known if name in kernels)
             )
 
     # -- enumeration ----------------------------------------------------------

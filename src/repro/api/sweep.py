@@ -1,0 +1,204 @@
+"""Multi-seed statistical sweeps: mean and bootstrap CI per cell.
+
+The paper reports one proficiency score per cell from one sampling run.
+A :meth:`repro.api.session.Session.sweep_seeds` sweep repeats the grid over
+several seeds and summarises each cell's score distribution as a mean with a
+percentile-bootstrap confidence interval, turning the point estimates of
+Tables 2-5 into interval estimates.
+
+Determinism contract
+--------------------
+
+The summary is a pure function of the per-seed results:
+
+* The bootstrap RNG is **content-keyed** per cell — seeded from a digest of
+  the cell's coordinates, never from clock, process, or sweep composition —
+  so the same per-seed scores always produce the same interval, in the same
+  spirit as the per-(cell, seed) suggestion streams.
+* Seeds are sorted before aggregation, so ``{1: a, 2: b}`` and ``{2: b, 1: a}``
+  summarise identically; per-seed :class:`~repro.core.runner.ResultSet`s can
+  each be assembled by :meth:`~repro.core.runner.ResultSet.merge` from shards
+  in any order first.
+* A single-seed sweep degrades exactly to the point estimate:
+  ``mean == ci_low == ci_high == score`` with no bootstrap drawn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import ResultSet
+from repro.models.grid import canonical_cell_position
+
+__all__ = ["CellStatistics", "SweepSummary", "summarize_sweep"]
+
+#: Root of every bootstrap stream; combined with a per-cell content digest.
+_BOOTSTRAP_ROOT = 0x5EED_C1A0
+
+
+@dataclass(frozen=True)
+class CellStatistics:
+    """Score distribution of one grid cell across the sweep's seeds."""
+
+    language: str
+    model: str
+    kernel: str
+    use_postfix: bool
+    seeds: tuple[int, ...]
+    scores: tuple[float, ...]
+    mean: float
+    ci_low: float
+    ci_high: float
+
+    def to_record(self) -> dict:
+        return {
+            "language": self.language,
+            "model": self.model,
+            "kernel": self.kernel,
+            "use_postfix": self.use_postfix,
+            "seeds": list(self.seeds),
+            "scores": list(self.scores),
+            "mean": self.mean,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Per-cell statistics for a whole multi-seed sweep."""
+
+    seeds: tuple[int, ...]
+    confidence: float
+    n_resamples: int
+    cells: tuple[CellStatistics, ...]
+
+    def to_records(self) -> list[dict]:
+        return [cell.to_record() for cell in self.cells]
+
+    def to_payload(self) -> dict:
+        return {
+            "seeds": list(self.seeds),
+            "confidence": self.confidence,
+            "n_resamples": self.n_resamples,
+            "cells": self.to_records(),
+        }
+
+    def cell(self, model: str, kernel: str, *, use_postfix: bool = False) -> CellStatistics:
+        """Statistics of one cell (KeyError when not part of the sweep)."""
+        for stats in self.cells:
+            if (
+                stats.model == model
+                and stats.kernel == kernel
+                and stats.use_postfix == use_postfix
+            ):
+                return stats
+        raise KeyError(f"no swept cell {model}:{kernel}{'+kw' if use_postfix else ''}")
+
+    def mean_of_means(self) -> float:
+        """Grand mean over the swept cells' means."""
+        if not self.cells:
+            return 0.0
+        return float(np.mean([stats.mean for stats in self.cells]))
+
+
+def _cell_rng(model: str, kernel: str, use_postfix: bool) -> np.random.Generator:
+    """Content-keyed bootstrap generator for one cell.
+
+    Keyed on the same ``model:kernel[+kw]`` identity as the suggestion
+    streams (:meth:`~repro.models.grid.ExperimentCell.cell_id`), so adding
+    or removing *other* cells from a sweep never changes this cell's CI.
+    """
+    cell_id = f"{model}:{kernel}{'+kw' if use_postfix else ''}"
+    digest = hashlib.sha256(cell_id.encode("utf-8")).digest()
+    entropy = int.from_bytes(digest[:8], "big")
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence([_BOOTSTRAP_ROOT, entropy])))
+
+
+def _bootstrap_ci(
+    scores: np.ndarray, rng: np.random.Generator, confidence: float, n_resamples: int
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI of the mean."""
+    n = scores.size
+    indices = rng.integers(0, n, size=(n_resamples, n))
+    means = scores[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def _sort_key(key: tuple[str, str, str, bool]) -> tuple:
+    language, model, kernel, use_postfix = key
+    position = canonical_cell_position(model, kernel, use_postfix)
+    if position is not None:
+        return (0, position)
+    return (1, language, model, kernel, use_postfix)
+
+
+def summarize_sweep(
+    results_by_seed: dict[int, ResultSet],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+) -> SweepSummary:
+    """Summarise ``{seed: ResultSet}`` into per-cell mean and bootstrap CI.
+
+    Every seed must have evaluated the same cell set; cells are reported in
+    canonical grid order.  The summary is invariant to the dict's insertion
+    order and to the order each per-seed set's results were merged in.
+    """
+    if not results_by_seed:
+        raise ValueError("summarize_sweep needs at least one seed's results")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    seeds = tuple(sorted(int(seed) for seed in results_by_seed))
+    per_cell: dict[tuple[str, str, str, bool], dict[int, float]] = {}
+    for seed in seeds:
+        for result in results_by_seed[seed]:
+            cell = result.cell
+            key = (cell.language, cell.model, cell.kernel, cell.use_postfix)
+            scores = per_cell.setdefault(key, {})
+            if seed in scores:
+                raise ValueError(
+                    f"seed {seed} evaluated cell {cell.cell_id!r} more than once"
+                )
+            scores[seed] = float(result.score)
+    cells: list[CellStatistics] = []
+    for key in sorted(per_cell, key=_sort_key):
+        language, model, kernel, use_postfix = key
+        scores = per_cell[key]
+        missing = [seed for seed in seeds if seed not in scores]
+        if missing:
+            raise ValueError(
+                f"cell {model}:{kernel} is missing from seed(s) {missing}; "
+                "every seed of a sweep must evaluate the same cells"
+            )
+        values = np.array([scores[seed] for seed in seeds], dtype=np.float64)
+        mean = float(values.mean())
+        if len(seeds) == 1:
+            ci_low = ci_high = mean
+        else:
+            rng = _cell_rng(model, kernel, use_postfix)
+            ci_low, ci_high = _bootstrap_ci(values, rng, confidence, n_resamples)
+        cells.append(
+            CellStatistics(
+                language=language,
+                model=model,
+                kernel=kernel,
+                use_postfix=use_postfix,
+                seeds=seeds,
+                scores=tuple(float(v) for v in values),
+                mean=mean,
+                ci_low=ci_low,
+                ci_high=ci_high,
+            )
+        )
+    return SweepSummary(
+        seeds=seeds,
+        confidence=float(confidence),
+        n_resamples=int(n_resamples),
+        cells=tuple(cells),
+    )

@@ -30,6 +30,7 @@ from repro.codex.prompt import Prompt
 from repro.corpus.mutations import MUTATION_OPERATORS, apply_mutation
 from repro.corpus.snippets import CodeSnippet, SnippetOrigin
 from repro.corpus.store import CorpusStore, default_corpus
+from repro.models.programming_models import STOCK_MODEL_UIDS
 from repro.popularity.maturity import model_maturity
 
 __all__ = ["SuggestionSampler"]
@@ -42,6 +43,12 @@ _SERIAL_MUTATIONS = ("drop_parallelism",)
 #: Kept out of _SAME_MODEL_MUTATIONS so non-CUDA cells draw the exact same
 #: random stream as before the operator existed.
 _CUDA_MUTATIONS = ("race_injection",)
+#: Mutations targeting the parallel-correctness failure modes of the scan /
+#: histogram families (wrong reduction order, lost atomic update, halo
+#: off-by-one).  Gated on the prompt's kernel so every stock cell draws the
+#: exact same random stream as before these operators existed.
+_PARALLEL_MUTATIONS = ("reduction_order", "drop_atomic", "bounds_off_by_one")
+_PARALLEL_KERNELS = ("scan", "histogram")
 
 
 @dataclass
@@ -97,6 +104,8 @@ class SuggestionSampler:
         if template is None:
             return None
         names = list(_SAME_MODEL_MUTATIONS + _SERIAL_MUTATIONS)
+        if prompt.kernel in _PARALLEL_KERNELS:
+            names.extend(_PARALLEL_MUTATIONS)
         if template.language == "python" and (
             "RawKernel" in template.code or "SourceModule" in template.code
         ):
@@ -121,6 +130,11 @@ class SuggestionSampler:
             prompt.language.name, prompt.model_uid, prompt.kernel, correct_only=True
         )
         templates = [c for c in candidates if c.origin is SnippetOrigin.TEMPLATE]
+        if prompt.model_uid in STOCK_MODEL_UIDS:
+            # Confusion suggestions for stock-model prompts come only from
+            # other stock models: registering an extension model (e.g.
+            # python.kokkos) must not perturb a stock cell's random stream.
+            templates = [c for c in templates if c.label_model in STOCK_MODEL_UIDS]
         if not templates:
             return None
         weights = np.array([model_maturity(c.label_model) for c in templates], dtype=np.float64)

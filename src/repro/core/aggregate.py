@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.core.runner import ResultSet
-from repro.kernels.registry import KERNEL_NAMES
+from repro.kernels.registry import STOCK_KERNEL_NAMES, kernel_names
 from repro.models.languages import language_names
 from repro.models.programming_models import models_for_language
 
@@ -29,10 +29,18 @@ def _mean(values: list[float]) -> float:
 
 
 def kernel_averages(results: ResultSet, *, language: str | None = None) -> "OrderedDict[str, float]":
-    """Average score per kernel, in canonical kernel order."""
+    """Average score per kernel, in canonical kernel order.
+
+    Stock kernels always appear (0.0 when absent, as before); extension
+    kernels appear only when the results actually contain them, so stock
+    result sets aggregate identically whether or not an extended grid is
+    registered in the process.
+    """
     out: "OrderedDict[str, float]" = OrderedDict()
-    for kernel in KERNEL_NAMES:
+    for kernel in kernel_names(language):
         subset = results.filter(language=language, kernel=kernel)
+        if not len(subset) and kernel not in STOCK_KERNEL_NAMES:
+            continue
         out[kernel] = _mean(subset.scores())
     return out
 

@@ -270,6 +270,94 @@ def _mutate_race_injection(snippet: CodeSnippet) -> CodeSnippet | None:
     )
 
 
+def _mutate_reduction_order(snippet: CodeSnippet) -> CodeSnippet | None:
+    """Reverse the scan accumulation direction: the inclusive prefix sum
+    becomes a suffix sum.  The code still looks like a perfectly reasonable
+    reduction loop — the classic "wrong reduction order" parallelization bug
+    — and is race-free, so only the numerical oracle catches it."""
+    if snippet.kernel != "scan":
+        return None
+    code = snippet.code
+    mutated: str | None = None
+    new_code, count = re.subn(
+        r"for \(int j = 0; j <= i; j\+\+\)", "for (int j = i; j < n; j++)", code, count=1
+    )
+    if count:
+        mutated = new_code
+    else:
+        new_code, count = re.subn(
+            r"for j in range\(i \+ 1\):", "for j in range(i, x.shape[0]):", code, count=1
+        )
+        if count:
+            mutated = new_code
+        elif "np.cumsum(x)" in code:
+            mutated = code.replace("np.cumsum(x)", "np.cumsum(x[::-1])[::-1]", 1)
+    if mutated is None or mutated == code:
+        return None
+    return snippet.with_code(
+        mutated,
+        mutation="reduction_order",
+        label_correct=False,
+        origin=SnippetOrigin.MUTATION,
+    )
+
+
+def _mutate_drop_atomic(snippet: CodeSnippet) -> CodeSnippet | None:
+    """Replace the atomic histogram increment with a plain store: the
+    lost-update bug.  The rewritten code sets ``hist[b] = 1.0`` instead of
+    accumulating, so it is numerically wrong even under the serialized
+    sandbox semantics — exactly like the real lost-update races that only
+    *look* correct until two threads hit the same bin."""
+    if snippet.kernel != "histogram":
+        return None
+    code = snippet.code
+    mutated: str | None = None
+    # The bin index is itself an indexed load (``hist[bins[i]]``), so the
+    # index group must admit one level of nested brackets.
+    index = r"((?:[^\[\]]|\[[^\]]*\])+)"
+    new_code, count = re.subn(
+        rf"atomicAdd\(&(\w+)\[{index}\], ([^)]+)\);", r"\1[\2] = \3;", code, count=1
+    )
+    if count:
+        mutated = new_code
+    else:
+        new_code, count = re.subn(
+            rf"pk\.atomic_add\((\w+), \[{index}\], ([^)]+)\)", r"\1[\2] = \3", code, count=1
+        )
+        if count:
+            mutated = new_code
+    if mutated is None or mutated == code:
+        return None
+    return snippet.with_code(
+        mutated,
+        mutation="drop_atomic",
+        label_correct=False,
+        origin=SnippetOrigin.MUTATION,
+    )
+
+
+def _mutate_bounds_off_by_one(snippet: CodeSnippet) -> CodeSnippet | None:
+    """Weaken the CUDA guard ``if (i < n)`` to ``if (i <= n)``: the halo /
+    bounds off-by-one that sends exactly one lane out of bounds.  Restricted
+    to the parallel kernel families whose geometry profiles give the static
+    analyzer concrete buffer sizes, so the mutant is provably ``HAZARD``
+    (the lane-index range leaves ``[0, size)`` and every value is attained)."""
+    if snippet.kernel not in ("scan", "histogram") or snippet.language != "python":
+        return None
+    code = snippet.code
+    if "RawKernel" not in code and "SourceModule" not in code:
+        return None
+    mutated, count = re.subn(r"if \((\w+) < (\w+)\)", r"if (\1 <= \2)", code, count=1)
+    if not count or mutated == code:
+        return None
+    return snippet.with_code(
+        mutated,
+        mutation="bounds_off_by_one",
+        label_correct=False,
+        origin=SnippetOrigin.MUTATION,
+    )
+
+
 def _mutate_comment_only(snippet: CodeSnippet) -> CodeSnippet | None:
     """Replace the code with a restatement of the prompt as a comment — the
     "no code at all" answer."""
@@ -340,6 +428,24 @@ MUTATION_OPERATORS: dict[str, MutationOperator] = {
             name="race_injection",
             description="per-lane CUDA store rewritten to a fixed index (write-write race)",
             func=_mutate_race_injection,
+            weight=0.6,
+        ),
+        MutationOperator(
+            name="reduction_order",
+            description="scan accumulation reversed (prefix sum becomes suffix sum)",
+            func=_mutate_reduction_order,
+            weight=0.9,
+        ),
+        MutationOperator(
+            name="drop_atomic",
+            description="atomic histogram increment replaced by a plain store (lost update)",
+            func=_mutate_drop_atomic,
+            weight=0.9,
+        ),
+        MutationOperator(
+            name="bounds_off_by_one",
+            description="CUDA guard weakened from < to <= (one lane out of bounds)",
+            func=_mutate_bounds_off_by_one,
             weight=0.6,
         ),
         MutationOperator(

@@ -25,7 +25,14 @@ from typing import Iterator
 from repro.corpus.templates import cpp_directives, cpp_gpu, cpp_portable, fortran, julia
 from repro.corpus.templates import python_cpu, python_gpu
 
-__all__ = ["get_template", "has_template", "iter_templates", "TEMPLATE_INDEX"]
+__all__ = [
+    "get_template",
+    "has_template",
+    "iter_templates",
+    "register_templates",
+    "unregister_templates",
+    "TEMPLATE_INDEX",
+]
 
 #: Combined template index: {(language, model_short, kernel): code}.
 TEMPLATE_INDEX: dict[tuple[str, str, str], str] = {}
@@ -44,6 +51,30 @@ for _module, _language in (
         if key in TEMPLATE_INDEX:  # pragma: no cover - guards template collisions
             raise RuntimeError(f"duplicate template for {key}")
         TEMPLATE_INDEX[key] = _code
+
+
+def register_templates(language: str, templates: dict[tuple[str, str], str]) -> None:
+    """Add extension templates keyed ``(model_short, kernel)`` (idempotent).
+
+    Registering a key that already maps to *different* code is an error —
+    the same collision guard the import-time index build applies.  Callers
+    must invalidate :func:`repro.corpus.store.default_corpus` afterwards
+    (the :mod:`repro.extensions` installer does).
+    """
+    language = language.lower()
+    for (model, kernel), code in templates.items():
+        key = (language, model.lower(), kernel.lower())
+        existing = TEMPLATE_INDEX.get(key)
+        if existing is not None and existing != code:
+            raise RuntimeError(f"duplicate template for {key}")
+        TEMPLATE_INDEX[key] = code
+
+
+def unregister_templates(language: str, keys: "Iterator[tuple[str, str]] | list[tuple[str, str]]") -> None:
+    """Remove extension templates by ``(model_short, kernel)`` key (idempotent)."""
+    language = language.lower()
+    for model, kernel in keys:
+        TEMPLATE_INDEX.pop((language, model.lower(), kernel.lower()), None)
 
 
 def get_template(language: str, model_short: str, kernel: str) -> str:

@@ -1,0 +1,406 @@
+"""Extension templates: the scan/histogram families and the PyKokkos column.
+
+This module is **not** imported by the template index at import time — the
+extended grid is opt-in (:func:`repro.extensions.install_extended_grid`
+registers these templates), so the stock corpus, and with it every stock
+cell's random stream, stays byte-identical to the seed.
+
+Three groups live here:
+
+* ``scan`` (inclusive prefix sum) for the four stock Python models,
+* ``histogram`` (atomic bin counts) for the four stock Python models — the
+  GPU variants are duplicate scatters through ``atomicAdd``, exercising the
+  lockstep engine's atomic modeling for real,
+* the PyKokkos column: all eight kernels (six stock + the two new families)
+  in ``parallel_for``/``parallel_reduce`` workunit style, executed by
+  :mod:`repro.sandbox.fake_kokkos`.
+
+The CUDA launch arithmetic mirrors the stock templates exactly, because the
+static-analyzer geometry profiles (:mod:`repro.analysis.hazards`) key on
+those canonical fragments.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TEMPLATES"]
+
+# ---------------------------------------------------------------------------
+# scan — inclusive prefix sum
+# ---------------------------------------------------------------------------
+
+_NUMPY_SCAN = '''import numpy as np
+
+
+def scan(x):
+    """Inclusive prefix sum: out[i] = sum(x[0..i])."""
+    return np.cumsum(x)
+'''
+
+_NUMBA_SCAN = '''import numpy as np
+from numba import njit, prange
+
+
+@njit(parallel=True)
+def scan(x):
+    """Inclusive prefix sum, one parallel iteration per output element."""
+    n = x.shape[0]
+    out = np.zeros(n)
+    for i in prange(n):
+        acc = 0.0
+        for j in range(i + 1):
+            acc += x[j]
+        out[i] = acc
+    return out
+'''
+
+_CUPY_SCAN = '''import cupy as cp
+
+_scan_kernel = cp.RawKernel(r"""
+extern "C" __global__
+void scan(const int n, const double *x, double *out)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double acc = 0.0;
+        for (int j = 0; j <= i; j++) {
+            acc += x[j];
+        }
+        out[i] = acc;
+    }
+}
+""", "scan")
+
+
+def scan(x):
+    """Inclusive prefix sum using a raw CUDA kernel."""
+    x_gpu = cp.asarray(x)
+    n = int(x_gpu.size)
+    out = cp.zeros(n)
+    threads = 256
+    blocks = (n + threads - 1) // threads
+    _scan_kernel((blocks,), (threads,), (n, x_gpu, out))
+    return cp.asnumpy(out)
+'''
+
+_PYCUDA_SCAN = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void scan(const int n, const double *x, double *out)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        double acc = 0.0;
+        for (int j = 0; j <= i; j++) {
+            acc += x[j];
+        }
+        out[i] = acc;
+    }
+}
+""")
+_scan = _mod.get_function("scan")
+
+
+def scan(x):
+    """Inclusive prefix sum using a pyCUDA SourceModule kernel."""
+    x = np.asarray(x, dtype=np.float64)
+    n = np.int32(x.size)
+    out = np.zeros(x.size, dtype=np.float64)
+    threads = 256
+    blocks = (x.size + threads - 1) // threads
+    _scan(n, drv.In(x), drv.Out(out), block=(threads, 1, 1), grid=(blocks, 1))
+    return out
+'''
+
+_KOKKOS_SCAN = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def scan_wu(i, x, out):
+    acc = 0.0
+    for j in range(i + 1):
+        acc += x[j]
+    out[i] = acc
+
+
+def scan(x):
+    """Inclusive prefix sum with a PyKokkos parallel_for workunit."""
+    x_view = pk.from_numpy(np.asarray(x, dtype=np.float64))
+    out = pk.from_numpy(np.zeros(x_view.shape[0]))
+    pk.parallel_for(x_view.shape[0], scan_wu, x=x_view, out=out)
+    return out
+'''
+
+# ---------------------------------------------------------------------------
+# histogram — atomic bin counts from precomputed int32 bin indices
+# ---------------------------------------------------------------------------
+
+_NUMPY_HISTOGRAM = '''import numpy as np
+
+
+def histogram(bins, nbins):
+    """Bin counts: hist[b] = number of i with bins[i] == b."""
+    return np.bincount(bins, minlength=nbins).astype(np.float64)
+'''
+
+_NUMBA_HISTOGRAM = '''import numpy as np
+from numba import njit, prange
+
+
+@njit(parallel=True)
+def histogram(bins, nbins):
+    """Bin counts, race-free: one parallel iteration per bin."""
+    n = bins.shape[0]
+    hist = np.zeros(nbins)
+    for b in prange(nbins):
+        count = 0.0
+        for i in range(n):
+            if bins[i] == b:
+                count += 1.0
+        hist[b] = count
+    return hist
+'''
+
+_CUPY_HISTOGRAM = '''import cupy as cp
+
+_histogram_kernel = cp.RawKernel(r"""
+extern "C" __global__
+void histogram(const int n, const int *bins, double *hist)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        atomicAdd(&hist[bins[i]], 1.0);
+    }
+}
+""", "histogram")
+
+
+def histogram(bins, nbins):
+    """Bin counts via atomicAdd in a raw CUDA kernel."""
+    b_gpu = cp.asarray(bins, dtype=cp.int32)
+    hist = cp.zeros(int(nbins))
+    n = int(b_gpu.size)
+    threads = 256
+    blocks = (n + threads - 1) // threads
+    _histogram_kernel((blocks,), (threads,), (n, b_gpu, hist))
+    return cp.asnumpy(hist)
+'''
+
+_PYCUDA_HISTOGRAM = '''import numpy as np
+import pycuda.autoinit
+import pycuda.driver as drv
+from pycuda.compiler import SourceModule
+
+_mod = SourceModule("""
+__global__ void histogram(const int n, const int *bins, double *hist)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        atomicAdd(&hist[bins[i]], 1.0);
+    }
+}
+""")
+_histogram = _mod.get_function("histogram")
+
+
+def histogram(bins, nbins):
+    """Bin counts via atomicAdd in a pyCUDA SourceModule kernel."""
+    bins = np.asarray(bins, dtype=np.int32)
+    hist = np.zeros(int(nbins), dtype=np.float64)
+    n = np.int32(bins.size)
+    threads = 256
+    blocks = (bins.size + threads - 1) // threads
+    _histogram(n, drv.In(bins), drv.InOut(hist),
+               block=(threads, 1, 1), grid=(blocks, 1))
+    return hist
+'''
+
+_KOKKOS_HISTOGRAM = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def histogram_wu(i, bins, hist):
+    pk.atomic_add(hist, [bins[i]], 1.0)
+
+
+def histogram(bins, nbins):
+    """Bin counts with pk.atomic_add inside a parallel_for workunit."""
+    b_view = pk.from_numpy(np.asarray(bins, dtype=np.int32))
+    hist = pk.from_numpy(np.zeros(int(nbins)))
+    pk.parallel_for(b_view.shape[0], histogram_wu, bins=b_view, hist=hist)
+    return hist
+'''
+
+# ---------------------------------------------------------------------------
+# PyKokkos — the six stock kernels in workunit style
+# ---------------------------------------------------------------------------
+
+_KOKKOS_AXPY = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def axpy_wu(i, a, x, y):
+    y[i] = a * x[i] + y[i]
+
+
+def axpy(a, x, y):
+    """AXPY: return a * x + y with a PyKokkos parallel_for workunit."""
+    x_view = pk.from_numpy(np.asarray(x, dtype=np.float64))
+    y_view = pk.from_numpy(np.asarray(y, dtype=np.float64).copy())
+    pk.parallel_for(x_view.shape[0], axpy_wu, a=float(a), x=x_view, y=y_view)
+    return y_view
+'''
+
+_KOKKOS_GEMV = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def gemv_wu(i, A, x, y):
+    s = 0.0
+    for j in range(A.shape[1]):
+        s += A[i, j] * x[j]
+    y[i] = s
+
+
+def gemv(A, x):
+    """GEMV: y = A @ x, one workunit per row."""
+    A_view = pk.from_numpy(np.asarray(A, dtype=np.float64))
+    x_view = pk.from_numpy(np.asarray(x, dtype=np.float64))
+    y = pk.from_numpy(np.zeros(A_view.shape[0]))
+    pk.parallel_for(A_view.shape[0], gemv_wu, A=A_view, x=x_view, y=y)
+    return y
+'''
+
+_KOKKOS_GEMM = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def gemm_wu(i, A, B, C):
+    for j in range(B.shape[1]):
+        s = 0.0
+        for l in range(A.shape[1]):
+            s += A[i, l] * B[l, j]
+        C[i, j] = s
+
+
+def gemm(A, B):
+    """GEMM: C = A @ B, one workunit per output row."""
+    A_view = pk.from_numpy(np.asarray(A, dtype=np.float64))
+    B_view = pk.from_numpy(np.asarray(B, dtype=np.float64))
+    C = pk.from_numpy(np.zeros((A_view.shape[0], B_view.shape[1])))
+    pk.parallel_for(A_view.shape[0], gemm_wu, A=A_view, B=B_view, C=C)
+    return C
+'''
+
+_KOKKOS_SPMV = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def spmv_wu(i, row_ptr, col_idx, values, x, y):
+    s = 0.0
+    for j in range(row_ptr[i], row_ptr[i + 1]):
+        s += values[j] * x[col_idx[j]]
+    y[i] = s
+
+
+def spmv(row_ptr, col_idx, values, x):
+    """SpMV: y = A @ x for a CSR matrix, one workunit per row."""
+    rp = pk.from_numpy(np.asarray(row_ptr, dtype=np.int32))
+    ci = pk.from_numpy(np.asarray(col_idx, dtype=np.int32))
+    v = pk.from_numpy(np.asarray(values, dtype=np.float64))
+    x_view = pk.from_numpy(np.asarray(x, dtype=np.float64))
+    y = pk.from_numpy(np.zeros(rp.shape[0] - 1))
+    pk.parallel_for(rp.shape[0] - 1, spmv_wu,
+                    row_ptr=rp, col_idx=ci, values=v, x=x_view, y=y)
+    return y
+'''
+
+_KOKKOS_JACOBI = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def jacobi_wu(i, u, u_new):
+    n = u.shape[0]
+    for j in range(1, n - 1):
+        for k in range(1, n - 1):
+            u_new[i, j, k] = (u[i - 1, j, k] + u[i + 1, j, k] +
+                              u[i, j - 1, k] + u[i, j + 1, k] +
+                              u[i, j, k - 1] + u[i, j, k + 1]) / 6.0
+
+
+def jacobi(u):
+    """One 3D Jacobi sweep, one workunit per interior plane."""
+    u_view = pk.from_numpy(np.asarray(u, dtype=np.float64))
+    u_new = pk.from_numpy(u_view.copy())
+    pk.parallel_for(range(1, u_view.shape[0] - 1), jacobi_wu, u=u_view, u_new=u_new)
+    return u_new
+'''
+
+_KOKKOS_CG = '''import numpy as np
+import pykokkos as pk
+
+
+@pk.workunit
+def matvec_wu(i, A, p, Ap):
+    s = 0.0
+    for j in range(A.shape[1]):
+        s += A[i, j] * p[j]
+    Ap[i] = s
+
+
+@pk.workunit
+def dot_wu(i, acc, a, b):
+    acc += a[i] * b[i]
+
+
+def cg(A, b, tol=1e-10, max_iter=1000):
+    """Solve A x = b for SPD A; matvec and dot products are workunits."""
+    A_view = pk.from_numpy(np.asarray(A, dtype=np.float64))
+    b_view = pk.from_numpy(np.asarray(b, dtype=np.float64))
+    n = b_view.shape[0]
+    x = np.zeros(n)
+    r = b_view.copy()
+    p = r.copy()
+    rsold = pk.parallel_reduce(n, dot_wu, a=r, b=r)
+    for _ in range(max_iter):
+        Ap = pk.from_numpy(np.zeros(n))
+        pk.parallel_for(n, matvec_wu, A=A_view, p=p, Ap=Ap)
+        alpha = rsold / pk.parallel_reduce(n, dot_wu, a=p, b=Ap)
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rsnew = pk.parallel_reduce(n, dot_wu, a=r, b=r)
+        if rsnew ** 0.5 < tol:
+            break
+        p = r + (rsnew / rsold) * p
+        rsold = rsnew
+    return x
+'''
+
+
+TEMPLATES: dict[tuple[str, str], str] = {
+    ("numpy", "scan"): _NUMPY_SCAN,
+    ("numba", "scan"): _NUMBA_SCAN,
+    ("cupy", "scan"): _CUPY_SCAN,
+    ("pycuda", "scan"): _PYCUDA_SCAN,
+    ("kokkos", "scan"): _KOKKOS_SCAN,
+    ("numpy", "histogram"): _NUMPY_HISTOGRAM,
+    ("numba", "histogram"): _NUMBA_HISTOGRAM,
+    ("cupy", "histogram"): _CUPY_HISTOGRAM,
+    ("pycuda", "histogram"): _PYCUDA_HISTOGRAM,
+    ("kokkos", "histogram"): _KOKKOS_HISTOGRAM,
+    ("kokkos", "axpy"): _KOKKOS_AXPY,
+    ("kokkos", "gemv"): _KOKKOS_GEMV,
+    ("kokkos", "gemm"): _KOKKOS_GEMM,
+    ("kokkos", "spmv"): _KOKKOS_SPMV,
+    ("kokkos", "jacobi"): _KOKKOS_JACOBI,
+    ("kokkos", "cg"): _KOKKOS_CG,
+}

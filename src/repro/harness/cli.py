@@ -5,6 +5,9 @@ Sub-commands
 
 ``run``        Evaluate the full Table 1 grid, print every table/figure and
                optionally write the per-cell records to CSV/JSON.
+``sweep``      Run the grid over several seeds (``--seeds 1 2 3``) and print
+               each cell's mean score with a content-keyed bootstrap
+               confidence interval; ``--json`` writes the summary payload.
 ``table N``    Reproduce Table N (2-5) and print it next to the paper values.
 ``figure N``   Reproduce Figure N (2-6).
 ``ablation X`` Run one of the ablations (``keywords``, ``maturity``,
@@ -123,11 +126,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(sets $REPRO_CACHE_URL, so subprocess workers inherit it); an "
         "unreachable server degrades to recompute",
     )
+    parser.add_argument(
+        "--extended-grid",
+        action="store_true",
+        help="install the extension grid before running the command: the scan and "
+        "histogram kernel families plus the python.kokkos model (docs/extending.md); "
+        "stock cells keep their exact random streams",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="evaluate the full grid and print all artefacts")
     run.add_argument("--csv", type=str, default=None, help="write per-cell records to this CSV file")
     run.add_argument("--json", type=str, default=None, help="write per-cell records to this JSON file")
+
+    sweep = sub.add_parser(
+        "sweep", help="multi-seed statistical sweep: mean and bootstrap CI per cell"
+    )
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", required=True, help="seeds to sweep over"
+    )
+    sweep.add_argument(
+        "--languages", nargs="+", default=None, help="restrict the grid to these languages"
+    )
+    sweep.add_argument(
+        "--confidence", type=float, default=0.95, help="CI level (default 0.95)"
+    )
+    sweep.add_argument(
+        "--resamples", type=int, default=1000, help="bootstrap resamples (default 1000)"
+    )
+    sweep.add_argument(
+        "--json", type=str, default=None, help="write the summary payload to this JSON file"
+    )
 
     table = sub.add_parser("table", help="reproduce one of Tables 2-5")
     table.add_argument("number", type=int, choices=sorted(TABLE_LANGUAGES))
@@ -381,6 +410,35 @@ def _cmd_run(args: argparse.Namespace, session) -> int:
         print(f"wrote {path}")
     if args.json:
         path = save_records_json(results, args.json)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, session) -> int:
+    summary = session.sweep_seeds(
+        args.seeds,
+        languages=args.languages,
+        confidence=args.confidence,
+        n_resamples=args.resamples,
+    )
+    print(
+        f"sweep over seeds {list(summary.seeds)}: "
+        f"{len(summary.cells)} cells, {summary.confidence:.0%} bootstrap CI "
+        f"({summary.n_resamples} resamples)"
+    )
+    for stats in summary.cells:
+        suffix = "+kw" if stats.use_postfix else ""
+        scores = " ".join(f"{score:.2f}" for score in stats.scores)
+        print(
+            f"  {stats.model + ':' + stats.kernel + suffix:40s} "
+            f"mean={stats.mean:.3f}  ci=[{stats.ci_low:.3f}, {stats.ci_high:.3f}]  "
+            f"scores=[{scores}]"
+        )
+    print(f"grand mean of cell means: {summary.mean_of_means():.3f}")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary.to_payload(), indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
     return 0
 
@@ -736,6 +794,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "table": _cmd_table,
         "figure": _cmd_figure,
         "ablation": _cmd_ablation,
@@ -759,6 +818,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cache.backends import ENV_REMOTE_URL
 
         os.environ[ENV_REMOTE_URL] = args.cache_url
+    if args.extended_grid:
+        from repro.extensions import install_extended_grid
+
+        install_extended_grid()
     verdict_store = True if args.verdict_store == "auto" else args.verdict_store
     with Session(seed=args.seed, backend=args.backend, verdict_store=verdict_store) as session:
         status = handlers[args.command](args, session)

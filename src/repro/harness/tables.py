@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.core.paper_reference import paper_score
 from repro.core.report import format_score, format_table
 from repro.core.runner import ResultSet
-from repro.kernels.registry import KERNEL_NAMES, get_kernel
+from repro.kernels.registry import get_kernel, kernel_names
 from repro.models.keywords import has_postfix_variant, postfix_keyword
 from repro.models.languages import get_language
 from repro.models.programming_models import models_for_language
@@ -32,17 +32,26 @@ def table_rows(
     With ``include_findings`` each row gains a trailing column counting the
     suggestions the CUDA-C static hazard analyzer flagged ``HAZARD`` across
     the row's kernels (informational; always 0 for non-GPU models).
+
+    Extension cells (kernels or models outside the paper's grid) have no
+    published score; with ``include_paper`` those cells render the reproduced
+    score followed by ``/-``.
     """
     rows: list[list[str]] = []
     for model in models_for_language(language):
         row: list[str] = [model.display_name]
         hazards = 0
-        for kernel in KERNEL_NAMES:
+        for kernel in kernel_names(language):
             score = results.score(model.uid, kernel, use_postfix=use_postfix)
             cell = format_score(score)
             if include_paper:
-                reference = paper_score(model.uid, kernel, use_postfix=use_postfix)
-                cell = f"{cell}/{format_score(reference)}"
+                try:
+                    reference = format_score(
+                        paper_score(model.uid, kernel, use_postfix=use_postfix)
+                    )
+                except KeyError:
+                    reference = "-"
+                cell = f"{cell}/{reference}"
             row.append(cell)
             if include_findings:
                 hazards += _cell_hazards(results, model.uid, kernel, use_postfix=use_postfix)
@@ -65,7 +74,7 @@ def render_language_table(
     ``include_findings`` each row gains a static-hazard count column.
     """
     lang = get_language(language)
-    headers = ["Prompt"] + [get_kernel(k).spec.display_name for k in KERNEL_NAMES]
+    headers = ["Prompt"] + [get_kernel(k).spec.display_name for k in kernel_names(lang.name)]
     if include_findings:
         headers.append("Hazards")
     blocks: list[str] = []

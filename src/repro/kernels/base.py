@@ -82,6 +82,11 @@ class KernelSpec:
     synonyms:
         Alternative names that may appear in prompts or corpus snippets
         (e.g. ``"daxpy"``, ``"matvec"``, ``"conjugate gradient"``).
+    languages:
+        Languages whose experiment grids include this kernel; ``None``
+        (the default, and the value for every paper kernel) means all
+        languages.  Extension families registered for a subset of
+        languages leave the other languages' grids untouched.
     """
 
     name: str
@@ -91,6 +96,11 @@ class KernelSpec:
     num_subkernels: int = 1
     flops_per_element: float = 2.0
     synonyms: tuple[str, ...] = ()
+    languages: tuple[str, ...] | None = None
+
+    def supports_language(self, language: str) -> bool:
+        """True when this kernel belongs to ``language``'s grid."""
+        return self.languages is None or language in self.languages
 
     def matches_token(self, token: str) -> bool:
         """Return True when ``token`` names this kernel (case-insensitive)."""

@@ -1,0 +1,69 @@
+"""Histogram kernel: per-bin counts from precomputed bin indices.
+
+An extension family beyond the paper's six kernels (see
+:mod:`repro.extensions` and ``docs/extending.md``).  The GPU formulation is
+a duplicate scatter — many threads increment the same bin — so correct
+implementations need ``atomicAdd``, which the lockstep hazard machinery
+models natively; dropping the atomic is the lost-update bug the
+``drop_atomic`` mutation operator injects.  Registered for the Python grid
+only.
+
+The bin indices are an explicit ``int32`` input (the same access shape as
+SpMV's ``col_idx``) rather than derived from float data inside the kernel,
+which keeps the CUDA-C templates free of float-to-int casts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.kernels.base import Kernel, KernelComplexity, KernelSpec, Problem, default_rng
+
+__all__ = ["histogram", "HistogramKernel"]
+
+
+def histogram(bins: np.ndarray, nbins: int) -> np.ndarray:
+    """Count occurrences of each bin index (float64 counts, the GPU dtype)."""
+    bins = np.asarray(bins)
+    if bins.ndim != 1:
+        raise ValueError(f"bins must be one-dimensional, got shape {bins.shape}")
+    if nbins < 1:
+        raise ValueError("nbins must be >= 1")
+    if bins.size and (bins.min() < 0 or bins.max() >= nbins):
+        raise ValueError("bin indices must lie in [0, nbins)")
+    return np.bincount(bins, minlength=nbins).astype(np.float64)
+
+
+class HistogramKernel(Kernel):
+    """Problem generator and oracle for the atomic histogram."""
+
+    spec = KernelSpec(
+        name="histogram",
+        display_name="Histogram",
+        complexity=KernelComplexity.IRREGULAR,
+        statement="hist[bins[i]] += 1",
+        num_subkernels=1,
+        flops_per_element=1.0,
+        synonyms=("binning", "bincount", "atomic histogram"),
+        languages=("python",),
+    )
+
+    def generate_problem(self, size: int, *, rng: np.random.Generator | None = None) -> Problem:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        rng = default_rng(rng, seed=size)
+        nbins = max(2, min(size, 8))
+        bins = rng.integers(0, nbins, size=size).astype(np.int32)
+        problem = Problem(
+            kernel=self.spec.name,
+            size=size,
+            inputs={"bins": bins, "nbins": nbins},
+            metadata={"flops": float(size)},
+        )
+        problem.expected = self.reference(problem.inputs)
+        return problem
+
+    def reference(self, inputs: Mapping[str, Any]) -> np.ndarray:
+        return histogram(inputs["bins"], inputs["nbins"])

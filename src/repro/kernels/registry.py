@@ -1,7 +1,17 @@
-"""Registry of the six evaluated kernels.
+"""Registry of the evaluated kernels.
 
 The registry fixes the canonical kernel order used by every table and figure
 in the paper: AXPY, GEMV, GEMM, SpMV, Jacobi, CG (increasing complexity).
+
+The registry is extensible: :func:`register_kernel` appends an extension
+family after the paper's six (see :mod:`repro.extensions` and
+``docs/extending.md``).  The paper kernels always come first and keep their
+order, so the stock grid enumeration — and with it every stock cell's random
+stream — is unaffected by registration.  Dynamic consumers should call
+:func:`kernel_names` / :func:`kernels_for_language` rather than importing
+:data:`KERNEL_NAMES` by value; the module-level tuple is rebound on every
+(un)registration for interactive use, but by-value importers (the
+paper-reference modules, intentionally) keep the stock six.
 """
 
 from __future__ import annotations
@@ -16,7 +26,18 @@ from repro.kernels.gemv import GemvKernel
 from repro.kernels.jacobi import JacobiKernel
 from repro.kernels.spmv import SpmvKernel
 
-__all__ = ["KERNEL_NAMES", "all_kernels", "get_kernel", "kernel_complexity_order", "find_kernel"]
+__all__ = [
+    "KERNEL_NAMES",
+    "STOCK_KERNEL_NAMES",
+    "all_kernels",
+    "get_kernel",
+    "kernel_complexity_order",
+    "find_kernel",
+    "kernel_names",
+    "kernels_for_language",
+    "register_kernel",
+    "unregister_kernel",
+]
 
 _KERNEL_CLASSES = (
     AxpyKernel,
@@ -31,8 +52,62 @@ _REGISTRY: "OrderedDict[str, Kernel]" = OrderedDict(
     (cls.spec.name, cls()) for cls in _KERNEL_CLASSES
 )
 
+#: The paper's six kernels, frozen — never affected by registration.
+STOCK_KERNEL_NAMES: tuple[str, ...] = tuple(_REGISTRY.keys())
+
 #: Canonical kernel order (matches the columns of the paper's tables).
-KERNEL_NAMES: tuple[str, ...] = tuple(_REGISTRY.keys())
+#: Rebound when extension kernels are (un)registered; prefer
+#: :func:`kernel_names` in code that must see the live registry.
+KERNEL_NAMES: tuple[str, ...] = STOCK_KERNEL_NAMES
+
+
+def kernel_names(language: str | None = None) -> tuple[str, ...]:
+    """Live canonical kernel order, optionally restricted to a language.
+
+    Stock kernels first (paper order), then extension kernels in
+    registration order.  With ``language`` given, kernels whose spec names a
+    language set excluding it are dropped — the mechanism that keeps
+    python-only extension families out of the C++/Fortran/Julia grids.
+    """
+    if language is None:
+        return tuple(_REGISTRY.keys())
+    return tuple(
+        name for name, kernel in _REGISTRY.items() if kernel.spec.supports_language(language)
+    )
+
+
+def kernels_for_language(language: str) -> tuple[Kernel, ...]:
+    """Kernel singletons in canonical order for one language's grid."""
+    return tuple(
+        kernel for kernel in _REGISTRY.values() if kernel.spec.supports_language(language)
+    )
+
+
+def register_kernel(kernel: Kernel) -> None:
+    """Append an extension kernel to the registry (idempotent).
+
+    Re-registering the same name with a different spec is an error —
+    silently replacing a kernel would re-key every cache built on kernel
+    identity.  Stock kernels cannot be replaced.
+    """
+    global KERNEL_NAMES
+    name = kernel.spec.name
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing.spec == kernel.spec:
+            return
+        raise ValueError(f"kernel {name!r} is already registered with a different spec")
+    _REGISTRY[name] = kernel
+    KERNEL_NAMES = tuple(_REGISTRY.keys())
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove an extension kernel (idempotent; stock kernels refuse)."""
+    global KERNEL_NAMES
+    if name in STOCK_KERNEL_NAMES:
+        raise ValueError(f"cannot unregister stock kernel {name!r}")
+    _REGISTRY.pop(name, None)
+    KERNEL_NAMES = tuple(_REGISTRY.keys())
 
 
 def all_kernels() -> tuple[Kernel, ...]:
@@ -47,7 +122,7 @@ def get_kernel(name: str) -> Kernel:
         return _REGISTRY[key]
     except KeyError:
         raise KeyError(
-            f"unknown kernel {name!r}; known kernels: {', '.join(KERNEL_NAMES)}"
+            f"unknown kernel {name!r}; known kernels: {', '.join(_REGISTRY)}"
         ) from None
 
 

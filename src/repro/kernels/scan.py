@@ -1,0 +1,58 @@
+"""Prefix-sum (inclusive scan) kernel: ``out[i] = sum(x[0..i])``.
+
+An extension family beyond the paper's six kernels (see
+:mod:`repro.extensions` and ``docs/extending.md``).  Scan is the canonical
+parallel-reduction pattern: a correct parallel implementation must respect
+the accumulation order, which makes it the natural target for the
+``reduction_order`` mutation operator.  Registered for the Python grid only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.kernels.base import Kernel, KernelComplexity, KernelSpec, Problem, default_rng
+
+__all__ = ["scan", "ScanKernel"]
+
+
+def scan(x: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum of a 1-D array (the numpy oracle)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be one-dimensional, got shape {x.shape}")
+    return np.cumsum(x)
+
+
+class ScanKernel(Kernel):
+    """Problem generator and oracle for the inclusive prefix sum."""
+
+    spec = KernelSpec(
+        name="scan",
+        display_name="Scan",
+        complexity=KernelComplexity.SIMPLE,
+        statement="out[i] = sum(x[0..i])",
+        num_subkernels=1,
+        flops_per_element=1.0,
+        synonyms=("prefix sum", "prefix-sum", "cumsum", "cumulative sum", "inclusive scan"),
+        languages=("python",),
+    )
+
+    def generate_problem(self, size: int, *, rng: np.random.Generator | None = None) -> Problem:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        rng = default_rng(rng, seed=size)
+        x = rng.standard_normal(size)
+        problem = Problem(
+            kernel=self.spec.name,
+            size=size,
+            inputs={"x": x},
+            metadata={"flops": float(size)},
+        )
+        problem.expected = self.reference(problem.inputs)
+        return problem
+
+    def reference(self, inputs: Mapping[str, Any]) -> np.ndarray:
+        return scan(inputs["x"])

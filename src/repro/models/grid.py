@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Iterator
 
-from repro.kernels.registry import KERNEL_NAMES
+from repro.kernels.registry import kernel_names
 from repro.models.keywords import has_postfix_variant, postfix_keyword
 from repro.models.languages import get_language, language_names
 from repro.models.programming_models import ProgrammingModel, get_model, models_for_language
@@ -69,7 +69,7 @@ def cells_for_language(
     keyword variant, otherwise only the bare variant.
     """
     lang = get_language(language)
-    kernel_list = tuple(kernels) if kernels is not None else KERNEL_NAMES
+    kernel_list = tuple(kernels) if kernels is not None else kernel_names(lang.name)
     if include_postfix is None:
         postfix_options = (False, True) if has_postfix_variant(lang.name) else (False,)
     else:

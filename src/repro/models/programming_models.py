@@ -27,6 +27,9 @@ __all__ = [
     "get_model",
     "models_for_language",
     "model_names",
+    "STOCK_MODEL_UIDS",
+    "register_model",
+    "unregister_model",
 ]
 
 
@@ -305,6 +308,34 @@ PROGRAMMING_MODELS: dict[str, ProgrammingModel] = {
         ),
     ]
 }
+
+
+#: The paper's 19 model uids, frozen — never affected by registration.
+STOCK_MODEL_UIDS: tuple[str, ...] = tuple(PROGRAMMING_MODELS.keys())
+
+
+def register_model(model: ProgrammingModel) -> None:
+    """Append an extension programming model to the registry (idempotent).
+
+    New models land *after* every stock model (dict insertion order), so
+    the stock table enumeration — and the per-cell seeding of every stock
+    cell — is unchanged.  Re-registering a uid with different attributes
+    is an error; stock models cannot be replaced.
+    """
+    existing = PROGRAMMING_MODELS.get(model.uid)
+    if existing is not None:
+        if existing == model:
+            return
+        raise ValueError(f"model {model.uid!r} is already registered with different attributes")
+    get_language(model.language)  # validate the language exists
+    PROGRAMMING_MODELS[model.uid] = model
+
+
+def unregister_model(uid: str) -> None:
+    """Remove an extension model (idempotent; stock models refuse)."""
+    if uid in STOCK_MODEL_UIDS:
+        raise ValueError(f"cannot unregister stock model {uid!r}")
+    PROGRAMMING_MODELS.pop(uid, None)
 
 
 def get_model(uid: str) -> ProgrammingModel:

@@ -336,7 +336,7 @@ class _Parser:
 
     def parse_unary(self) -> object:
         token = self.peek()
-        if token is not None and token.text in ("-", "+", "!"):
+        if token is not None and token.text in ("-", "+", "!", "&"):
             op = self.advance().text
             return ast.Unary(op=op, operand=self.parse_unary())
         if token is not None and token.text in ("++", "--"):

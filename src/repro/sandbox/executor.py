@@ -99,7 +99,7 @@ def _fresh_wrapper_modules() -> dict[str, types.ModuleType]:
 
 def _fake_module_map() -> dict[str, types.ModuleType]:
     """The sys.modules entries that stand in for the GPU / JIT stack."""
-    from repro.sandbox import fake_cupy, fake_pycuda
+    from repro.sandbox import fake_cupy, fake_kokkos, fake_pycuda
     from repro.sandbox.fake_pycuda import autoinit, compiler, driver, gpuarray
 
     modules = {
@@ -109,6 +109,7 @@ def _fake_module_map() -> dict[str, types.ModuleType]:
         "pycuda.driver": driver,
         "pycuda.compiler": compiler,
         "pycuda.gpuarray": gpuarray,
+        "pykokkos": fake_kokkos,
     }
     modules.update(_fresh_wrapper_modules())
     return modules

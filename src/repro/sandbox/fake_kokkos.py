@@ -1,0 +1,115 @@
+"""A numpy-backed stand-in for :mod:`pykokkos`.
+
+PyKokkos expresses parallelism as *workunits* dispatched through
+``parallel_for`` / ``parallel_reduce`` over an index range, with data held
+in ``View`` objects that interoperate with numpy.  For correctness
+evaluation the dispatch loops run serially over the index range and views
+are plain numpy arrays; ``atomic_add`` is a direct in-place update, which is
+exactly the serialized semantics of the real atomic.
+
+The fake is installed by :func:`repro.sandbox.executor.fake_runtime`
+unconditionally (like the other fake runtimes) — only suggestions that
+``import pykokkos`` ever touch it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as _np
+
+__all__ = [
+    "workunit",
+    "parallel_for",
+    "parallel_reduce",
+    "Acc",
+    "View",
+    "View1D",
+    "View2D",
+    "from_numpy",
+    "atomic_add",
+    "initialize",
+    "finalize",
+    "double",
+    "int32",
+    "int64",
+]
+
+double = _np.float64
+int32 = _np.int32
+int64 = _np.int64
+
+
+def workunit(*dargs: Any, **dkwargs: Any) -> Callable:
+    """Behave like ``@pk.workunit`` and ``@pk.workunit(...)`` simultaneously."""
+    if len(dargs) == 1 and callable(dargs[0]) and not dkwargs:
+        return dargs[0]
+
+    def decorate(func: Callable) -> Callable:
+        return func
+
+    return decorate
+
+
+class View(_np.ndarray):
+    """``pk.View``: a numpy array allocated through the Kokkos-style API."""
+
+    def __new__(cls, shape: Any, dtype: Any = double) -> "View":
+        return _np.zeros(shape, dtype=dtype).view(cls)
+
+
+#: Dimension-tagged aliases used in workunit type annotations.
+View1D = View
+View2D = View
+
+
+def from_numpy(array: Any) -> _np.ndarray:
+    """Zero-copy interop: the "view" shares the numpy buffer (as in pykokkos)."""
+    return _np.asarray(array)
+
+
+class Acc:
+    """Reduction accumulator: ``acc += value`` inside a workunit."""
+
+    __slots__ = ("val",)
+
+    def __init__(self, value: float = 0.0):
+        self.val = value
+
+    def __iadd__(self, other: Any) -> "Acc":
+        self.val += other
+        return self
+
+    def __float__(self) -> float:
+        return float(self.val)
+
+
+def parallel_for(n: Any, func: Callable, **kwargs: Any) -> None:
+    """Serial dispatch of a workunit over ``range(n)`` (or an explicit range)."""
+    indices = range(n) if isinstance(n, int) else n
+    for i in indices:
+        func(i, **kwargs)
+
+
+def parallel_reduce(n: Any, func: Callable, **kwargs: Any) -> float:
+    """Serial reduction dispatch: the workunit accumulates into an :class:`Acc`."""
+    acc = Acc(0.0)
+    indices = range(n) if isinstance(n, int) else n
+    for i in indices:
+        func(i, acc, **kwargs)
+    return acc.val
+
+
+def atomic_add(view: Any, index: Any, value: Any) -> None:
+    """``pk.atomic_add(view, [i], v)``: serialized atomic increment."""
+    if isinstance(index, (list, tuple)):
+        index = index[0] if len(index) == 1 else tuple(index)
+    view[index] += value
+
+
+def initialize(*_args: Any, **_kwargs: Any) -> None:
+    return None
+
+
+def finalize() -> None:
+    return None

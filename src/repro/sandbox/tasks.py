@@ -22,7 +22,7 @@ import numpy as np
 from repro.kernels.jacobi import jacobi3d_step
 from repro.kernels.sparse import poisson_2d
 
-__all__ = ["SandboxTask", "get_task", "TASK_SEED"]
+__all__ = ["SandboxTask", "get_task", "register_task_builder", "TASK_SEED"]
 
 #: Base seed for the sandbox problem data (start of the paper's data window).
 TASK_SEED = 20230414
@@ -115,6 +115,28 @@ def _jacobi_task() -> SandboxTask:
     return SandboxTask(kernel="jacobi", args=(u,), expected=expected)
 
 
+@_register("scan")
+def _scan_task() -> SandboxTask:
+    # Extension family (see repro.extensions): inclusive prefix sum.
+    rng = _rng("scan")
+    n = 64
+    x = rng.standard_normal(n)
+    return SandboxTask(kernel="scan", args=(x,), expected=np.cumsum(x))
+
+
+@_register("histogram")
+def _histogram_task() -> SandboxTask:
+    # Extension family: bin counts from precomputed int32 bin indices (the
+    # CUDA templates index the histogram buffer by a loaded integer, the
+    # same access shape as spmv's col_idx).  The counts buffer is float64
+    # because the lockstep engine models atomicAdd on float64 targets.
+    rng = _rng("histogram")
+    n, nbins = 64, 8
+    bins = rng.integers(0, nbins, size=n).astype(np.int32)
+    expected = np.bincount(bins, minlength=nbins).astype(np.float64)
+    return SandboxTask(kernel="histogram", args=(bins, nbins), expected=expected)
+
+
 @_register("cg")
 def _cg_task() -> SandboxTask:
     rng = _rng("cg")
@@ -124,6 +146,21 @@ def _cg_task() -> SandboxTask:
     x_true = rng.standard_normal(n)
     b = a @ x_true
     return SandboxTask(kernel="cg", args=(a, b), expected=x_true, rtol=1e-5, atol=1e-6)
+
+
+def register_task_builder(name: str, builder: Callable[[], SandboxTask]) -> None:
+    """Register a sandbox task builder for an extension kernel (idempotent).
+
+    Replacing an existing builder with a different one is an error: the
+    task is part of the evaluation contract, and silently swapping it would
+    re-score every cached verdict for the kernel.
+    """
+    key = name.strip().lower()
+    existing = _BUILDERS.get(key)
+    if existing is not None and existing is not builder:
+        raise ValueError(f"kernel {key!r} already has a sandbox task builder")
+    _BUILDERS[key] = builder
+    _CACHE.pop(key, None)
 
 
 _CACHE: dict[str, SandboxTask] = {}
